@@ -1,0 +1,107 @@
+// Command coscale-dram drives the cycle-level DDR3 simulator directly,
+// sweeping bus frequency and load to print latency/bandwidth/power curves —
+// the microbenchmark view of what memory DVFS trades away.
+//
+// Usage:
+//
+//	coscale-dram                      # frequency x load sweep, closed-page
+//	coscale-dram -policy open         # open-page row management
+//	coscale-dram -cycles 200000       # longer measurement window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"coscale/internal/dram"
+	"coscale/internal/freq"
+	"coscale/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coscale-dram: ")
+
+	var (
+		policy = flag.String("policy", "closed", "row-buffer policy: closed or open")
+		cycles = flag.Int("cycles", 100_000, "measurement window in bus cycles")
+		local  = flag.Float64("locality", 0.0, "fraction of sequential (same-row) accesses")
+	)
+	flag.Parse()
+
+	var rp dram.RowPolicy
+	switch *policy {
+	case "closed":
+		rp = dram.ClosedPage
+	case "open":
+		rp = dram.OpenPage
+	default:
+		log.Printf("unknown policy %q", *policy)
+		os.Exit(2)
+	}
+
+	ladder := freq.DefaultMemLadder()
+	fmt.Printf("DDR3 sweep: %s-page, %d bus cycles per point, locality %.0f%%\n\n",
+		*policy, *cycles, *local*100)
+	fmt.Printf("%8s %10s %12s %12s %10s %10s\n",
+		"bus MHz", "load", "latency ns", "GB/s", "bus util", "row hits")
+
+	for step := 0; step < ladder.Steps(); step += 3 {
+		hz := ladder.Hz(step)
+		for _, gap := range []int{16, 6, 3} { // light, moderate, heavy
+			stats, err := sweep(rp, hz, gap, *cycles, *local)
+			if err != nil {
+				log.Print(err)
+				os.Exit(1)
+			}
+			reads := stats.Reads + stats.Writes
+			secs := float64(*cycles) / hz
+			fmt.Printf("%8.0f %10s %12.1f %12.2f %9.1f%% %9.1f%%\n",
+				hz/1e6, label(gap),
+				stats.AvgReadLatency()/hz*1e9,
+				float64(reads*64)/secs/1e9,
+				stats.BusUtilization(4)*100,
+				stats.RowHitRate()*100)
+		}
+	}
+}
+
+func label(gap int) string {
+	switch gap {
+	case 16:
+		return "light"
+	case 6:
+		return "moderate"
+	default:
+		return "heavy"
+	}
+}
+
+// sweep applies an open-loop request stream: one request per gap cycles per
+// channel, addresses random or sequential per the locality fraction.
+func sweep(rp dram.RowPolicy, hz float64, gap, cycles int, locality float64) (dram.Stats, error) {
+	cfg := dram.DefaultConfig()
+	cfg.RowPolicy = rp
+	cfg.BusHz = hz
+	m, err := dram.New(cfg)
+	if err != nil {
+		return dram.Stats{}, err
+	}
+	rng := trace.NewRand(42)
+	addr := uint64(0)
+	for i := 0; i < cycles; i++ {
+		if i%gap == 0 {
+			if rng.Float64() < locality {
+				addr += 64
+			} else {
+				addr = rng.Uint64() % (1 << 30) / 64 * 64
+			}
+			m.Enqueue(dram.Request{Addr: addr})
+		}
+		m.Tick(1)
+	}
+	m.Tick(1000) // drain tail
+	return m.Stats(), nil
+}

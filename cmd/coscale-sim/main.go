@@ -1,0 +1,82 @@
+// Command coscale-sim runs one workload under one DVFS policy and reports
+// energy, performance and (optionally) the per-epoch frequency timeline.
+//
+// Usage:
+//
+//	coscale-sim -workload MEM1 -policy CoScale -bound 0.10
+//	coscale-sim -workload MIX2 -policy Semi-coordinated -timeline
+//	coscale-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"coscale"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coscale-sim: ")
+
+	var (
+		workloadName = flag.String("workload", "MID1", "Table 1 mix name")
+		policyName   = flag.String("policy", coscale.PolicyCoScale, "policy: Baseline, CoScale, MemScale, CPUOnly, Uncoordinated, Semi-coordinated, Offline")
+		bound        = flag.Float64("bound", 0.10, "allowed per-program slowdown")
+		budget       = flag.Uint64("instructions", 100_000_000, "instructions per application")
+		prefetch     = flag.Bool("prefetch", false, "enable the next-line prefetcher")
+		ooo          = flag.Bool("ooo", false, "emulate the 128-instruction OoO window")
+		timeline     = flag.Bool("timeline", false, "print the per-epoch frequency timeline")
+		list         = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range coscale.Workloads() {
+			fmt.Println(w)
+		}
+		return
+	}
+
+	cfg := coscale.Config{
+		Workload:          *workloadName,
+		Policy:            *policyName,
+		PerformanceBound:  *bound,
+		InstructionBudget: *budget,
+		Prefetch:          *prefetch,
+		OutOfOrder:        *ooo,
+		RecordTimeline:    *timeline,
+	}
+	cmp, err := coscale.Compare(cfg)
+	if err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+
+	res, base := cmp.Run, cmp.Base
+	fmt.Printf("workload %s, policy %s: %d epochs, %.4f s (baseline %.4f s)\n",
+		res.Mix, res.Policy, res.Epochs, res.WallTime, base.WallTime)
+	fmt.Printf("energy: %.1f J vs baseline %.1f J -> %.1f%% full-system savings\n",
+		res.Energy.Total(), base.Energy.Total(), cmp.FullSavings()*100)
+	fmt.Printf("  CPU %.1f%%  memory %.1f%%  (breakdown: cpu %.1f, l2 %.1f, mem %.1f, rest %.1f J)\n",
+		cmp.CPUSavings()*100, cmp.MemSavings()*100,
+		res.Energy.CPU, res.Energy.L2, res.Energy.Mem, res.Energy.Rest)
+	fmt.Printf("performance: average degradation %.2f%%, worst program %.2f%% (bound %.0f%%)\n",
+		cmp.AvgDegradation()*100, cmp.WorstDegradation()*100, *bound*100)
+
+	if *timeline {
+		fmt.Println("\nepoch  mem-MHz  core0-GHz  worst-slowdown  power-W")
+		for _, rec := range res.Timeline {
+			worst := 0.0
+			for _, s := range rec.Slowdowns {
+				if s > worst {
+					worst = s
+				}
+			}
+			fmt.Printf("%5d  %7.0f  %9.2f  %14.3f  %7.0f\n",
+				rec.Index+1, rec.MemHz/1e6, rec.CoreHz[0]/1e9, worst, rec.PowerW)
+		}
+	}
+}

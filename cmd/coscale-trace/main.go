@@ -1,0 +1,55 @@
+// Command coscale-trace dumps per-epoch frequency timelines (the Figure 7
+// study) for a workload under several policies, as tab-separated series
+// ready for plotting.
+//
+// Usage:
+//
+//	coscale-trace -workload MIX2 -policies CoScale,Uncoordinated,Semi-coordinated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"coscale"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coscale-trace: ")
+
+	var (
+		workloadName = flag.String("workload", "MIX2", "Table 1 mix name")
+		policies     = flag.String("policies", "CoScale,Uncoordinated,Semi-coordinated", "comma-separated policy names")
+		budget       = flag.Uint64("instructions", 100_000_000, "instructions per application")
+		core         = flag.Int("core", 0, "core whose frequency to report (0 = first copy of the first app)")
+	)
+	flag.Parse()
+
+	for _, pol := range strings.Split(*policies, ",") {
+		pol = strings.TrimSpace(pol)
+		res, err := coscale.Run(coscale.Config{
+			Workload:          *workloadName,
+			Policy:            pol,
+			InstructionBudget: *budget,
+			RecordTimeline:    true,
+		})
+		if err != nil {
+			log.Print(err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s on %s (%d epochs)\n", pol, *workloadName, res.Epochs)
+		fmt.Println("epoch\tmem_ghz\tcore_ghz")
+		for _, rec := range res.Timeline {
+			if *core >= len(rec.CoreHz) {
+				log.Printf("core %d out of range", *core)
+				os.Exit(1)
+			}
+			fmt.Printf("%d\t%.3f\t%.2f\n", rec.Index+1, rec.MemHz/1e9, rec.CoreHz[*core]/1e9)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,195 @@
+// Package coscale is a full reproduction of "CoScale: Coordinating CPU and
+// Memory System DVFS in Server Systems" (Deng, Meisner, Bhattacharjee,
+// Wenisch, Bianchini — MICRO 2012): the first controller to coordinate
+// per-core and memory-subsystem dynamic voltage/frequency scaling under a
+// per-program performance bound.
+//
+// The package exposes a façade over the complete simulation stack:
+//
+//   - a trace-driven 16-core server model with a shared LLC and a DDR3
+//     memory subsystem (4 channels, frequency-scalable 200-800 MHz),
+//   - calibrated CPU and memory power models (60/30/10 CPU:Mem:Rest at peak),
+//   - the CoScale controller (greedy gradient-descent over per-core and
+//     memory frequencies, Figures 2-3 of the paper), and
+//   - the five comparison policies of §3.2 (MemScale, CPUOnly,
+//     Uncoordinated, Semi-coordinated, Offline).
+//
+// Quick start:
+//
+//	res, err := coscale.Run(coscale.Config{Workload: "MEM1", Policy: coscale.PolicyCoScale})
+//	if err != nil { ... }
+//	fmt.Printf("energy: %.1f J over %.3f s\n", res.Energy.Total(), res.WallTime)
+//
+// To compare against the no-DVFS baseline in one call:
+//
+//	cmp, err := coscale.Compare(coscale.Config{Workload: "MEM1", Policy: coscale.PolicyCoScale})
+//	fmt.Printf("savings %.1f%%, worst slowdown %.1f%%\n",
+//	        cmp.FullSavings()*100, cmp.WorstDegradation()*100)
+//
+// The experiment harnesses that regenerate every table and figure of the
+// paper's evaluation live in internal/experiments and are driven by the
+// cmd/coscale-experiments binary and the repository-root benchmarks.
+package coscale
+
+import (
+	"fmt"
+	"time"
+
+	"coscale/internal/core"
+	"coscale/internal/experiments"
+	"coscale/internal/freq"
+	"coscale/internal/sim"
+	"coscale/internal/workload"
+)
+
+// Policy names accepted by Config.Policy.
+const (
+	PolicyBaseline      = "Baseline"      // no energy management (maximum frequencies)
+	PolicyCoScale       = "CoScale"       // the paper's coordinated controller
+	PolicyMemScale      = "MemScale"      // memory-subsystem DVFS only
+	PolicyCPUOnly       = "CPUOnly"       // per-core DVFS only
+	PolicyUncoordinated = "Uncoordinated" // independent CPU and memory managers
+	PolicySemi          = "Semi-coordinated"
+	PolicyOffline       = "Offline" // idealized oracle-fed upper bound
+	// PolicyPowerCap is the §2.3 extension: maximize performance under a
+	// full-system power budget (set Config.PowerCapWatts).
+	PolicyPowerCap = "CoScale-PowerCap"
+)
+
+// Workloads returns the names of the 16 Table 1 workload mixes, in the
+// paper's presentation order (MEM, MID, ILP, MIX).
+func Workloads() []string { return workload.Names() }
+
+// Config configures a simulation run. Zero values select the paper's
+// defaults (Table 2 and §4.1).
+type Config struct {
+	// Workload names a Table 1 mix, e.g. "MEM1", "MIX3".
+	Workload string
+	// Policy selects the controller; see the Policy* constants.
+	// Empty selects PolicyCoScale.
+	Policy string
+
+	// PerformanceBound is the maximum allowed per-program slowdown
+	// (default 0.10 = 10%).
+	PerformanceBound float64
+	// EpochLength is the control period (default 5 ms).
+	EpochLength time.Duration
+	// ProfileLength is the counter-profiling window (default 300 µs).
+	ProfileLength time.Duration
+	// InstructionBudget is per-application work (default 100M, the
+	// paper's SimPoint length). Reduce it for faster runs.
+	InstructionBudget uint64
+
+	// CoreFrequencySteps / MemFrequencySteps resize the DVFS ladders
+	// (default 10 each; the Figure 15 study uses 4 and 7).
+	CoreFrequencySteps int
+	MemFrequencySteps  int
+	// HalfVoltageRange confines core voltage to 0.95-1.2 V (Figure 14).
+	HalfVoltageRange bool
+
+	// Prefetch enables the next-line prefetcher (Figure 16).
+	Prefetch bool
+	// OutOfOrder emulates a 128-instruction MLP window (Figures 17-18).
+	OutOfOrder bool
+
+	// RecordTimeline retains per-epoch frequency records (Figure 7).
+	RecordTimeline bool
+
+	// PowerCapWatts is the full-system budget for PolicyPowerCap.
+	PowerCapWatts float64
+
+	// MigrateEvery rotates software threads across cores every N epochs
+	// (0 = pinned); per-thread slack follows each thread (§3.3).
+	MigrateEvery int
+}
+
+// Result re-exports the simulator result type.
+type Result = sim.Result
+
+// Comparison pairs a policy run with its no-DVFS baseline.
+type Comparison = experiments.Outcome
+
+func (c Config) toSim() (sim.Config, error) {
+	if c.Workload == "" {
+		return sim.Config{}, fmt.Errorf("coscale: Config.Workload is required (one of %v)", Workloads())
+	}
+	mix, err := workload.Get(c.Workload)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	out := sim.Config{
+		Mix:            mix,
+		Gamma:          c.PerformanceBound,
+		EpochLen:       c.EpochLength,
+		ProfileLen:     c.ProfileLength,
+		InstrBudget:    c.InstructionBudget,
+		Prefetch:       c.Prefetch,
+		OoO:            c.OutOfOrder,
+		RecordTimeline: c.RecordTimeline,
+		MigrateEvery:   c.MigrateEvery,
+	}
+	if c.CoreFrequencySteps > 0 {
+		l, err := freq.CoreLadderN(c.CoreFrequencySteps)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		out.CoreLadder = l
+	}
+	if c.HalfVoltageRange {
+		if c.CoreFrequencySteps > 0 && c.CoreFrequencySteps != freq.DefaultCoreSteps {
+			return sim.Config{}, fmt.Errorf("coscale: HalfVoltageRange cannot be combined with CoreFrequencySteps")
+		}
+		out.CoreLadder = freq.HalfVoltageCoreLadder()
+	}
+	if c.MemFrequencySteps > 0 {
+		l, err := freq.MemLadderN(c.MemFrequencySteps)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		out.MemLadder = l
+	}
+	return out, nil
+}
+
+// Run executes one simulation and returns its result.
+func Run(c Config) (*Result, error) {
+	sc, err := c.toSim()
+	if err != nil {
+		return nil, err
+	}
+	name := c.Policy
+	if name == "" {
+		name = PolicyCoScale
+	}
+	switch name {
+	case PolicyBaseline:
+	case PolicyPowerCap:
+		if c.PowerCapWatts <= 0 {
+			return nil, fmt.Errorf("coscale: PolicyPowerCap requires PowerCapWatts > 0")
+		}
+		sc.Policy = core.NewPowerCap(sc.PolicyConfig(), c.PowerCapWatts)
+	default:
+		sc.Policy = experiments.NewPolicy(experiments.PolicyName(name), sc.PolicyConfig())
+	}
+	eng, err := sim.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// Compare runs the configured policy and the no-DVFS baseline on the same
+// workload and returns both, with savings/degradation accessors.
+func Compare(c Config) (*Comparison, error) {
+	base := c
+	base.Policy = PolicyBaseline
+	baseRes, err := Run(base)
+	if err != nil {
+		return nil, err
+	}
+	runRes, err := Run(c)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Base: baseRes, Run: runRes}, nil
+}

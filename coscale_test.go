@@ -1,0 +1,113 @@
+package coscale
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWorkloads(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 16 {
+		t.Fatalf("Workloads() returned %d names", len(ws))
+	}
+	if ws[0] != "MEM1" {
+		t.Errorf("first workload = %s, want MEM1 (paper presentation order)", ws[0])
+	}
+}
+
+func TestRunRequiresWorkload(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("Run with empty config succeeded")
+	}
+	if _, err := Run(Config{Workload: "NOPE"}); err == nil {
+		t.Error("Run with unknown workload succeeded")
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	res, err := Run(Config{Workload: "ILP2", Policy: PolicyBaseline, InstructionBudget: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "Baseline" || res.WallTime <= 0 || res.Energy.Total() <= 0 {
+		t.Errorf("degenerate baseline result: %+v", res)
+	}
+}
+
+func TestCompareCoScale(t *testing.T) {
+	cmp, err := Compare(Config{Workload: "MID3", InstructionBudget: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.FullSavings() <= 0 {
+		t.Errorf("CoScale saved nothing: %.3f", cmp.FullSavings())
+	}
+	if cmp.WorstDegradation() > 0.10 {
+		t.Errorf("bound violated: %.3f", cmp.WorstDegradation())
+	}
+	if cmp.Run.Policy != "CoScale" {
+		t.Errorf("default policy = %s", cmp.Run.Policy)
+	}
+}
+
+func TestConfigKnobs(t *testing.T) {
+	res, err := Run(Config{
+		Workload:           "ILP2",
+		Policy:             PolicyCoScale,
+		PerformanceBound:   0.05,
+		EpochLength:        4 * time.Millisecond,
+		ProfileLength:      200 * time.Microsecond,
+		InstructionBudget:  20_000_000,
+		CoreFrequencySteps: 7,
+		MemFrequencySteps:  7,
+		Prefetch:           true,
+		RecordTimeline:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Error("timeline not recorded")
+	}
+}
+
+func TestHalfVoltageConflicts(t *testing.T) {
+	_, err := Run(Config{Workload: "ILP2", HalfVoltageRange: true, CoreFrequencySteps: 4,
+		InstructionBudget: 20_000_000})
+	if err == nil {
+		t.Error("conflicting ladder options accepted")
+	}
+}
+
+func TestPowerCapThroughPublicAPI(t *testing.T) {
+	if _, err := Run(Config{Workload: "MID3", Policy: PolicyPowerCap, InstructionBudget: 15_000_000}); err == nil {
+		t.Error("PowerCap without a budget accepted")
+	}
+	base, err := Run(Config{Workload: "MID3", Policy: PolicyBaseline, InstructionBudget: 15_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePower := base.Energy.Total() / base.WallTime
+	capW := basePower * 0.75
+	res, err := Run(Config{Workload: "MID3", Policy: PolicyPowerCap, PowerCapWatts: capW,
+		InstructionBudget: 15_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgPower := res.Energy.Total() / res.WallTime
+	if avgPower > capW*1.05 {
+		t.Errorf("average power %.0f W exceeds cap %.0f W", avgPower, capW)
+	}
+	if res.WallTime <= base.WallTime {
+		t.Error("capped run should be slower than uncapped baseline")
+	}
+}
+
+func TestAllPoliciesRun(t *testing.T) {
+	for _, p := range []string{PolicyBaseline, PolicyCoScale, PolicyMemScale, PolicyCPUOnly,
+		PolicyUncoordinated, PolicySemi, PolicyOffline} {
+		if _, err := Run(Config{Workload: "MID3", Policy: p, InstructionBudget: 15_000_000}); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Phase adaptation: the Figure 7 study as a library client. milc (in MIX2)
+// moves through three phases — light memory traffic, a transition, then
+// strongly memory-bound. CoScale tracks the phase changes by re-balancing
+// core versus memory frequency every 5 ms epoch; this example renders the
+// timeline as ASCII sparklines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"coscale"
+)
+
+func main() {
+	res, err := coscale.Run(coscale.Config{
+		Workload:       "MIX2",
+		Policy:         coscale.PolicyCoScale,
+		RecordTimeline: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("CoScale on MIX2: %d epochs\n\n", res.Epochs)
+	fmt.Println("epoch | memory bus            | milc core (core 0)")
+	for _, rec := range res.Timeline {
+		memFrac := (rec.MemHz/1e6 - 206) / (800 - 206)
+		coreFrac := (rec.CoreHz[0]/1e9 - 2.2) / (4.0 - 2.2)
+		fmt.Printf("%5d | %-21s | %-21s\n",
+			rec.Index+1,
+			bar(memFrac, rec.MemHz/1e6, "MHz"),
+			bar(coreFrac, rec.CoreHz[0]/1e9, "GHz"))
+	}
+	fmt.Println("\nmilc's late memory-bound phase pulls the bus back up while its core scales down.")
+}
+
+func bar(frac, value float64, unit string) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*12 + 0.5)
+	format := "%s%s %4.0f%s"
+	if unit == "GHz" {
+		format = "%s%s %4.1f%s"
+	}
+	return fmt.Sprintf(format, strings.Repeat("#", n), strings.Repeat(".", 12-n), value, unit)
+}

@@ -1,0 +1,40 @@
+// Policy comparison: the §3.2 shoot-out on a single mixed workload. Shows
+// why coordination matters: the single-knob policies leave system energy on
+// the table, Uncoordinated blows through the performance bound, and
+// Semi-coordinated oscillates into local minima.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coscale"
+)
+
+func main() {
+	const workload = "MIX2" // milc, gobmk, facerec, perlbmk — phase changes included
+
+	fmt.Printf("policy comparison on %s (10%% bound, 100M instructions/app)\n\n", workload)
+	fmt.Printf("%-18s %10s %10s %10s %12s\n", "policy", "full", "memory", "CPU", "worst-slowdn")
+
+	for _, pol := range []string{
+		coscale.PolicyMemScale,
+		coscale.PolicyCPUOnly,
+		coscale.PolicyUncoordinated,
+		coscale.PolicySemi,
+		coscale.PolicyCoScale,
+		coscale.PolicyOffline,
+	} {
+		cmp, err := coscale.Compare(coscale.Config{Workload: workload, Policy: pol})
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if cmp.WorstDegradation() > 0.10 {
+			marker = "  <-- bound violated"
+		}
+		fmt.Printf("%-18s %9.1f%% %9.1f%% %9.1f%% %11.1f%%%s\n",
+			pol, cmp.FullSavings()*100, cmp.MemSavings()*100, cmp.CPUSavings()*100,
+			cmp.WorstDegradation()*100, marker)
+	}
+}

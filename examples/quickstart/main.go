@@ -1,0 +1,31 @@
+// Quickstart: run CoScale on one memory-intensive workload and compare it
+// against the no-DVFS baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coscale"
+)
+
+func main() {
+	cmp, err := coscale.Compare(coscale.Config{
+		Workload: "MEM1",                // swim, applu, galgel, equake (x4 each)
+		Policy:   coscale.PolicyCoScale, // coordinated CPU + memory DVFS
+		// Everything else defaults to the paper's setup: 16 cores at
+		// 2.2-4.0 GHz, DDR3 bus at 200-800 MHz, 10% performance bound,
+		// 5 ms epochs, 100M instructions per application.
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s under %s\n", cmp.Run.Mix, cmp.Run.Policy)
+	fmt.Printf("  baseline: %.3f s, %.0f J\n", cmp.Base.WallTime, cmp.Base.Energy.Total())
+	fmt.Printf("  coscale : %.3f s, %.0f J\n", cmp.Run.WallTime, cmp.Run.Energy.Total())
+	fmt.Printf("  full-system energy savings: %.1f%%\n", cmp.FullSavings()*100)
+	fmt.Printf("  CPU savings %.1f%%, memory savings %.1f%%\n",
+		cmp.CPUSavings()*100, cmp.MemSavings()*100)
+	fmt.Printf("  worst program slowdown: %.1f%% (bound 10%%)\n", cmp.WorstDegradation()*100)
+}

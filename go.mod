@@ -1,0 +1,3 @@
+module coscale
+
+go 1.22

@@ -1,0 +1,127 @@
+package cache
+
+import "fmt"
+
+// L2 is the cycle-level shared last-level cache: physically indexed,
+// set-associative, LRU replacement, writeback with write-allocate. It is the
+// detailed counterpart of the analytic ShareModel; contention between cores
+// emerges naturally from shared sets.
+type L2 struct {
+	ways      int
+	sets      int
+	blockBits uint
+	lines     []line // sets*ways, LRU-ordered within each set (index 0 = MRU)
+
+	// per-core statistics
+	Accesses   []uint64
+	Misses     []uint64
+	Writebacks []uint64
+}
+
+type line struct {
+	tag   uint64
+	core  int
+	valid bool
+	dirty bool
+}
+
+// NewL2 builds a cache of sizeBytes with the given associativity and block
+// size; all three must be powers of two and consistent.
+func NewL2(sizeBytes, ways, blockBytes, cores int) (*L2, error) {
+	if sizeBytes <= 0 || ways <= 0 || blockBytes <= 0 || cores <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry")
+	}
+	if sizeBytes%(ways*blockBytes) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible by ways*block", sizeBytes)
+	}
+	sets := sizeBytes / (ways * blockBytes)
+	if sets&(sets-1) != 0 || blockBytes&(blockBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: sets (%d) and block size must be powers of two", sets)
+	}
+	bits := uint(0)
+	for 1<<bits < blockBytes {
+		bits++
+	}
+	return &L2{
+		ways:       ways,
+		sets:       sets,
+		blockBits:  bits,
+		lines:      make([]line, sets*ways),
+		Accesses:   make([]uint64, cores),
+		Misses:     make([]uint64, cores),
+		Writebacks: make([]uint64, cores),
+	}, nil
+}
+
+// Result reports one access.
+type Result struct {
+	Hit       bool
+	Writeback bool   // a dirty victim was evicted
+	WbAddr    uint64 // its block address
+}
+
+// Access performs a load (write=false) or store (write=true) by core.
+// Misses allocate; LRU victims that are dirty produce a writeback.
+func (c *L2) Access(addr uint64, write bool, core int) Result {
+	c.Accesses[core]++
+	tag := addr >> c.blockBits
+	set := int(tag % uint64(c.sets))
+	base := set * c.ways
+
+	// Hit: move to MRU.
+	for w := 0; w < c.ways; w++ {
+		l := c.lines[base+w]
+		if l.valid && l.tag == tag {
+			if write {
+				l.dirty = true
+			}
+			copy(c.lines[base+1:base+w+1], c.lines[base:base+w])
+			c.lines[base] = l
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss: evict LRU (last way).
+	c.Misses[core]++
+	victim := c.lines[base+c.ways-1]
+	res := Result{}
+	if victim.valid && victim.dirty {
+		res.Writeback = true
+		res.WbAddr = victim.tag << c.blockBits
+		c.Writebacks[victim.core]++
+	}
+	copy(c.lines[base+1:], c.lines[base:base+c.ways-1])
+	c.lines[base] = line{tag: tag, core: core, valid: true, dirty: write}
+	return res
+}
+
+// Fill inserts a block without counting an access (prefetch fills).
+func (c *L2) Fill(addr uint64, core int) Result {
+	tag := addr >> c.blockBits
+	set := int(tag % uint64(c.sets))
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if l := c.lines[base+w]; l.valid && l.tag == tag {
+			return Result{Hit: true} // already present
+		}
+	}
+	victim := c.lines[base+c.ways-1]
+	res := Result{}
+	if victim.valid && victim.dirty {
+		res.Writeback = true
+		res.WbAddr = victim.tag << c.blockBits
+		c.Writebacks[victim.core]++
+	}
+	copy(c.lines[base+1:], c.lines[base:base+c.ways-1])
+	c.lines[base] = line{tag: tag, core: core, valid: true}
+	return res
+}
+
+// MPKI returns core's misses per kilo-instruction given its committed
+// instruction count.
+func (c *L2) MPKI(core int, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(c.Misses[core]) / float64(instructions)
+}

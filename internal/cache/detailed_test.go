@@ -1,0 +1,173 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustL2(t *testing.T) *L2 {
+	t.Helper()
+	l2, err := NewL2(64*1024, 4, 64, 2) // 64 KB, 4-way: small for fast evictions
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l2
+}
+
+func TestNewL2Validation(t *testing.T) {
+	if _, err := NewL2(0, 4, 64, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewL2(100, 4, 64, 1); err == nil {
+		t.Error("non-divisible size accepted")
+	}
+	if _, err := NewL2(3*64*4, 4, 64, 1); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if _, err := NewL2(16<<20, 16, 64, 16); err != nil {
+		t.Errorf("Table 2 geometry rejected: %v", err)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	l2 := mustL2(t)
+	if r := l2.Access(0x1000, false, 0); r.Hit {
+		t.Error("cold access hit")
+	}
+	if r := l2.Access(0x1000, false, 0); !r.Hit {
+		t.Error("second access missed")
+	}
+	if l2.Accesses[0] != 2 || l2.Misses[0] != 1 {
+		t.Errorf("stats = %d/%d", l2.Accesses[0], l2.Misses[0])
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l2 := mustL2(t)
+	// 4 ways: fill a set with 4 blocks, touch the first, add a fifth; the
+	// second block (LRU) must be evicted, the first retained.
+	setStride := uint64(64 * 256) // 64KB/(4*64) = 256 sets
+	for i := uint64(0); i < 4; i++ {
+		l2.Access(i*setStride, false, 0)
+	}
+	l2.Access(0, false, 0)           // block 0 -> MRU
+	l2.Access(4*setStride, false, 0) // evicts block 1
+	if r := l2.Access(0, false, 0); !r.Hit {
+		t.Error("MRU block evicted")
+	}
+	if r := l2.Access(setStride, false, 0); r.Hit {
+		t.Error("LRU block survived")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	l2 := mustL2(t)
+	setStride := uint64(64 * 256)
+	l2.Access(0, true, 0) // dirty
+	for i := uint64(1); i <= 4; i++ {
+		r := l2.Access(i*setStride, false, 1)
+		if i < 4 {
+			if r.Writeback {
+				t.Error("clean eviction produced writeback")
+			}
+			continue
+		}
+		if !r.Writeback || r.WbAddr != 0 {
+			t.Errorf("dirty eviction: %+v", r)
+		}
+	}
+	if l2.Writebacks[0] != 1 {
+		t.Errorf("writeback charged to %v", l2.Writebacks)
+	}
+}
+
+func TestWriteHitDirties(t *testing.T) {
+	l2 := mustL2(t)
+	l2.Access(0, false, 0) // clean allocate
+	l2.Access(0, true, 0)  // dirty on hit
+	setStride := uint64(64 * 256)
+	var wb bool
+	for i := uint64(1); i <= 4; i++ {
+		if r := l2.Access(i*setStride, false, 0); r.Writeback {
+			wb = true
+		}
+	}
+	if !wb {
+		t.Error("write-hit did not dirty the line")
+	}
+}
+
+func TestFillDoesNotCountAccess(t *testing.T) {
+	l2 := mustL2(t)
+	l2.Fill(0x2000, 0)
+	if l2.Accesses[0] != 0 || l2.Misses[0] != 0 {
+		t.Error("Fill counted as access")
+	}
+	if r := l2.Access(0x2000, false, 0); !r.Hit {
+		t.Error("filled block not present")
+	}
+	// Fill of a present block is a no-op.
+	if r := l2.Fill(0x2000, 0); !r.Hit {
+		t.Error("re-fill did not report present")
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	l2 := mustL2(t)
+	l2.Access(0, false, 0)
+	l2.Access(64*256, false, 0)
+	if got := l2.MPKI(0, 1000); got != 2 {
+		t.Errorf("MPKI = %g, want 2", got)
+	}
+	if got := l2.MPKI(0, 0); got != 0 {
+		t.Errorf("MPKI with zero instructions = %g", got)
+	}
+}
+
+// Property: hit rate of a working set that fits is 100% after one pass.
+func TestResidentSetAlwaysHits(t *testing.T) {
+	f := func(blocks uint8) bool {
+		l2, err := NewL2(64*1024, 4, 64, 1)
+		if err != nil {
+			return false
+		}
+		n := uint64(blocks%64) + 1 // fits easily in 1024 blocks
+		for i := uint64(0); i < n; i++ {
+			l2.Access(i*64, false, 0)
+		}
+		for i := uint64(0); i < n; i++ {
+			if !l2.Access(i*64, false, 0).Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShareModelProportional(t *testing.T) {
+	m := NewShareModel(16)
+	shares := m.Shares([]float64{1, 3})
+	if shares[0] != 4 || shares[1] != 12 {
+		t.Errorf("shares = %v", shares)
+	}
+	equal := m.Shares([]float64{0, 0})
+	if equal[0] != 8 || equal[1] != 8 {
+		t.Errorf("zero-weight shares = %v", equal)
+	}
+	if got := m.Shares(nil); len(got) != 0 {
+		t.Errorf("empty shares = %v", got)
+	}
+	neg := m.Shares([]float64{-1, 1})
+	if neg[0] != 0 || neg[1] != 16 {
+		t.Errorf("negative weight shares = %v", neg)
+	}
+}
+
+func TestNewShareModelDefault(t *testing.T) {
+	if m := NewShareModel(0); m.SizeMB != DefaultSizeMB {
+		t.Errorf("default size = %g", m.SizeMB)
+	}
+}

@@ -1,0 +1,64 @@
+// Package cache models the shared 16 MB L2 (last-level) cache: an analytic
+// capacity-sharing model used by the fast epoch backend (this file) and a
+// cycle-level set-associative simulator used by the detailed backend
+// (detailed.go).
+package cache
+
+// Default LLC geometry from Table 2.
+const (
+	DefaultSizeMB    = 16
+	DefaultWays      = 16
+	DefaultBlockSize = 64
+	// DefaultHitCycles is the shared-L2 hit latency in CPU cycles at the
+	// nominal 4 GHz clock. The L2 sits in a fixed voltage/frequency
+	// domain, so its latency in seconds is constant: 30 cycles / 4 GHz.
+	DefaultHitCycles = 30
+	DefaultHitTime   = 7.5e-9 // seconds
+)
+
+// ShareModel apportions LLC capacity among competing cores. Under LRU, a
+// core's steady-state share of capacity is approximately proportional to its
+// access rate; since co-scheduled cores retire instructions at broadly
+// similar rates, we use accesses-per-instruction (L2APKI) as the weight.
+// This is the standard linear-partition approximation for shared-LRU caches.
+type ShareModel struct {
+	SizeMB float64
+}
+
+// NewShareModel returns a share model for an LLC of the given capacity.
+func NewShareModel(sizeMB float64) *ShareModel {
+	if sizeMB <= 0 {
+		sizeMB = DefaultSizeMB
+	}
+	return &ShareModel{SizeMB: sizeMB}
+}
+
+// Shares returns each core's LLC share in MB given the cores' current L2
+// access weights (accesses per kilo-instruction, phase-adjusted). A zero
+// total weight yields equal shares.
+func (m *ShareModel) Shares(weights []float64) []float64 {
+	out := make([]float64, len(weights))
+	if len(weights) == 0 {
+		return out
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		equal := m.SizeMB / float64(len(weights))
+		for i := range out {
+			out[i] = equal
+		}
+		return out
+	}
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		out[i] = m.SizeMB * w / total
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+// Package core implements CoScale, the paper's contribution: a greedy
+// gradient-descent search over per-core and memory-subsystem frequency
+// settings that minimizes full-system energy (SER, Eq. 2) while keeping
+// every program inside its accumulated performance slack.
+//
+// The search is the algorithm of Figure 2. Starting with every component at
+// maximum frequency, it repeatedly estimates the marginal utility
+// (Δpower/Δperformance) of lowering either the memory subsystem or a group
+// of cores by one step and greedily takes the most beneficial move, as long
+// as some move keeps every program within its slack. Core groups are formed
+// by the sub-algorithm of Figure 3: cores eligible for scaling are kept in a
+// list sorted ascending by the performance cost of their next step, and the
+// N prefixes of that list are the candidate groups. Group moves are what
+// keep the search out of the local minimum where memory frequency — whose
+// first step usually beats scaling any single core — is always taken first.
+//
+// Marginal utilities are cached exactly as in Figure 2: the memory marginal
+// is recomputed only when the memory frequency changed, and core marginals
+// only for cores whose frequency changed, giving the paper's
+// O(M + C·N²) complexity instead of the brute-force M·C^N.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"coscale/internal/policy"
+)
+
+// Options tune CoScale variants used by the ablation studies.
+type Options struct {
+	// DisableGrouping restricts core moves to single cores (group size
+	// 1), demonstrating the local-minimum pathology §3.1 warns about.
+	DisableGrouping bool
+	// DisableMarginalCache recomputes every marginal on every iteration,
+	// for measuring the value of the Figure 2 caching.
+	DisableMarginalCache bool
+}
+
+// CoScale is the coordinated CPU+memory DVFS controller.
+type CoScale struct {
+	cfg   policy.Config
+	opts  Options
+	slack *policy.SlackBook
+
+	// last decision, re-used as the "settings in effect" for transitions.
+	last policy.Decision
+}
+
+// New returns a CoScale controller for the given system.
+func New(cfg policy.Config) *CoScale { return NewWithOptions(cfg, Options{}) }
+
+// NewWithOptions returns a CoScale controller with ablation options.
+func NewWithOptions(cfg policy.Config, opts Options) *CoScale {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &CoScale{
+		cfg:   cfg,
+		opts:  opts,
+		slack: policy.NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve),
+		last:  policy.Decision{CoreSteps: policy.ZeroSteps(cfg.NCores)},
+	}
+}
+
+// Name implements policy.Policy.
+func (c *CoScale) Name() string {
+	switch {
+	case c.opts.DisableGrouping:
+		return "CoScale-NoGrouping"
+	case c.opts.DisableMarginalCache:
+		return "CoScale-NoCache"
+	default:
+		return "CoScale"
+	}
+}
+
+// Slack exposes the per-program slack trackers (for tests and telemetry).
+func (c *CoScale) Slack() *policy.SlackBook { return c.slack }
+
+// Observe implements policy.Policy: end-of-epoch slack accounting against
+// the all-max reference, per §3 "Overall operation".
+func (c *CoScale) Observe(epoch policy.Observation) {
+	tMax := policy.TMaxForEpoch(c.cfg, epoch, policy.ZeroSteps(c.cfg.NCores), 0)
+	c.slack.RecordEpochFor(epoch.CoreThreads(), tMax, epoch.Window)
+}
+
+// Decide implements policy.Policy: the Figure 2 search.
+func (c *CoScale) Decide(obs policy.Observation) policy.Decision {
+	ev := policy.NewEvaluator(c.cfg, obs)
+	limits := c.cfg.Limits(c.slack.AvailableFor(obs.CoreThreads()))
+	d := c.search(ev, limits)
+	c.last = d.Clone()
+	return d
+}
+
+// searchState carries the walk's mutable state.
+type searchState struct {
+	steps   []int
+	memStep int
+	cur     policy.Eval
+
+	// Cached marginals (Figure 2 lines 4-8).
+	memValid  bool
+	memMarg   marginal
+	coreValid bool
+	coreList  []coreMarg // eligible cores sorted ascending by dTPI
+}
+
+// marginal is a candidate move's cost/benefit.
+type marginal struct {
+	utility  float64 // Δpower / Δperformance
+	dPower   float64
+	dPerf    float64
+	feasible bool
+	eval     policy.Eval // post-move prediction (memory moves only)
+}
+
+// coreMarg is the locally estimated marginal of stepping one core down.
+type coreMarg struct {
+	core      int
+	dTPI      float64 // seconds/instruction added by one step down
+	dPerf     float64 // dTPI / baseline TPI (relative slowdown added)
+	dPower    float64 // watts saved by one step down
+	slowAfter float64 // predicted slowdown vs baseline after the step
+}
+
+func (c *CoScale) search(ev *policy.Evaluator, limits []float64) policy.Decision {
+	n := c.cfg.NCores
+	st := &searchState{steps: policy.ZeroSteps(n)}
+	st.cur = ev.Evaluate(st.steps, 0)
+
+	best := policy.Decision{CoreSteps: append([]int(nil), st.steps...), MemStep: 0}
+	bestSER := st.cur.SER
+
+	maxIters := (c.cfg.MemLadder.Steps() + c.cfg.CoreLadder.Steps()*n) + 4
+	for iter := 0; iter < maxIters; iter++ {
+		if c.opts.DisableMarginalCache {
+			st.memValid, st.coreValid = false, false
+		}
+
+		// Figure 2 lines 4-5: memory marginal, recomputed only on change.
+		if !st.memValid {
+			st.memMarg = c.memoryMarginal(ev, st, limits)
+			st.memValid = true
+		}
+		// Figure 2 lines 6-8 / Figure 3: core-group marginal.
+		if !st.coreValid {
+			st.coreList = c.rebuildCoreList(ev, st, limits)
+			st.coreValid = true
+		}
+		group, groupMarg := c.bestGroup(ev, st, limits)
+
+		memOK := st.memMarg.feasible
+		coreOK := len(group) > 0
+
+		switch {
+		case memOK && coreOK:
+			if st.memMarg.utility >= groupMarg.utility {
+				c.applyMemory(st)
+			} else {
+				c.applyGroup(ev, st, group, limits)
+			}
+		case memOK:
+			c.applyMemory(st)
+		case coreOK:
+			c.applyGroup(ev, st, group, limits)
+		default:
+			// Line 2: nothing can scale further.
+			iter = maxIters
+			continue
+		}
+
+		// Joint feasibility backstop: local core estimates are
+		// conservative, but re-verify and revert if the joint model
+		// disagrees (can happen right after a stale-cache move).
+		if !policy.WithinBound(st.cur, limits) {
+			break
+		}
+		// Line 20: record SER for the configuration just reached.
+		if st.cur.SER < bestSER {
+			bestSER = st.cur.SER
+			best = policy.Decision{CoreSteps: append([]int(nil), st.steps...), MemStep: st.memStep}
+		}
+	}
+	// Line 21-22: the combination with the smallest SER wins.
+	return best
+}
+
+// memoryMarginal evaluates one memory step down from the current state
+// (full joint model — memory affects every core).
+func (c *CoScale) memoryMarginal(ev *policy.Evaluator, st *searchState, limits []float64) marginal {
+	if c.cfg.MemLadder.Bottom(st.memStep) {
+		return marginal{}
+	}
+	cand := ev.Evaluate(st.steps, st.memStep+1)
+	if !policy.WithinBound(cand, limits) {
+		return marginal{}
+	}
+	dPower := st.cur.Power.Total - cand.Power.Total
+	// Δperformance: the highest performance loss of any core (§3.1).
+	dPerf := 0.0
+	for i := range cand.Slowdown {
+		if d := cand.Slowdown[i] - st.cur.Slowdown[i]; d > dPerf {
+			dPerf = d
+		}
+	}
+	return marginal{utility: utility(dPower, dPerf), dPower: dPower, dPerf: dPerf,
+		feasible: true, eval: cand}
+}
+
+// rebuildCoreList recomputes the Figure 3 eligibility list from scratch.
+// (Incremental repair after a group move is handled by repairCoreList; a
+// full rebuild happens only on the first iteration or with caching
+// disabled.)
+func (c *CoScale) rebuildCoreList(ev *policy.Evaluator, st *searchState, limits []float64) []coreMarg {
+	list := make([]coreMarg, 0, c.cfg.NCores)
+	for i := 0; i < c.cfg.NCores; i++ {
+		if m, ok := c.coreMarginal(ev, st, limits, i); ok {
+			list = append(list, m)
+		}
+	}
+	sort.Slice(list, func(a, b int) bool { return list[a].dTPI < list[b].dTPI })
+	return list
+}
+
+// coreMarginal locally estimates the effect of stepping core i down once,
+// holding the memory system at its current modelled latency.
+func (c *CoScale) coreMarginal(ev *policy.Evaluator, st *searchState, limits []float64, i int) (coreMarg, bool) {
+	step := st.steps[i]
+	if c.cfg.CoreLadder.Bottom(step) {
+		return coreMarg{}, false
+	}
+	stats := ev.Stats()[i]
+	lat := st.cur.MemLoad.Latency
+	hzCur, hzNext := c.cfg.CoreLadder.Hz(step), c.cfg.CoreLadder.Hz(step+1)
+	tpiCur := stats.TPI(hzCur, lat)
+	tpiNext := stats.TPI(hzNext, lat)
+	base := ev.Baseline().TPI[i]
+	slowAfter := tpiNext / base
+	if slowAfter > limits[i]*(1+1e-12) {
+		return coreMarg{}, false
+	}
+	mix := ev.ObsCore(i).Mix
+	pCur := c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step), hzCur, 1/tpiCur, mix)
+	pNext := c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step+1), hzNext, 1/tpiNext, mix)
+	cpuScale := c.cfg.Power.CPUScale
+	if cpuScale == 0 {
+		cpuScale = 1
+	}
+	return coreMarg{
+		core:      i,
+		dTPI:      tpiNext - tpiCur,
+		dPerf:     (tpiNext - tpiCur) / base,
+		dPower:    (pCur - pNext) * cpuScale,
+		slowAfter: slowAfter,
+	}, true
+}
+
+// bestGroup runs Figure 3 lines 3-7: consider the prefixes of the sorted
+// eligibility list as groups and return the one with the largest marginal
+// utility.
+func (c *CoScale) bestGroup(ev *policy.Evaluator, st *searchState, limits []float64) ([]int, marginal) {
+	if len(st.coreList) == 0 {
+		return nil, marginal{}
+	}
+	limit := len(st.coreList)
+	if c.opts.DisableGrouping {
+		limit = 1
+	}
+	bestU := math.Inf(-1)
+	bestI := -1
+	sumPower := 0.0
+	var bestMarg marginal
+	for i := 0; i < limit; i++ {
+		sumPower += st.coreList[i].dPower
+		dPerf := st.coreList[i].dPerf // worst in group: list is sorted ascending
+		u := utility(sumPower, dPerf)
+		if u > bestU {
+			bestU, bestI = u, i
+			bestMarg = marginal{utility: u, dPower: sumPower, dPerf: dPerf, feasible: true}
+		}
+	}
+	group := make([]int, 0, bestI+1)
+	for i := 0; i <= bestI; i++ {
+		group = append(group, st.coreList[i].core)
+	}
+	return group, bestMarg
+}
+
+// applyMemory commits a one-step memory reduction (already evaluated).
+func (c *CoScale) applyMemory(st *searchState) {
+	st.memStep++
+	st.cur = st.memMarg.eval
+	st.memValid = false // memory frequency changed: marginal stale
+	// Core marginals are deliberately NOT invalidated (Figure 2 line 6
+	// recomputes them only when a core frequency changes) — but their
+	// latency assumption is refreshed lazily through the joint st.cur.
+}
+
+// applyGroup commits a one-step reduction for every core in group, then
+// repairs the sorted list (Figure 3 lines 1-2).
+func (c *CoScale) applyGroup(ev *policy.Evaluator, st *searchState, group []int, limits []float64) {
+	for _, i := range group {
+		st.steps[i]++
+	}
+	st.cur = ev.Evaluate(st.steps, st.memStep)
+	st.memValid = false // traffic changed; memory marginal must be re-evaluated
+	c.repairCoreList(ev, st, group, limits)
+}
+
+// repairCoreList removes the moved cores and re-inserts their fresh
+// marginals, keeping the ascending dTPI order without a full sort.
+func (c *CoScale) repairCoreList(ev *policy.Evaluator, st *searchState, moved []int, limits []float64) {
+	movedSet := make(map[int]bool, len(moved))
+	for _, i := range moved {
+		movedSet[i] = true
+	}
+	kept := st.coreList[:0]
+	for _, m := range st.coreList {
+		if !movedSet[m.core] {
+			kept = append(kept, m)
+		}
+	}
+	st.coreList = kept
+	for _, i := range moved {
+		if m, ok := c.coreMarginal(ev, st, limits, i); ok {
+			pos := sort.Search(len(st.coreList), func(j int) bool { return st.coreList[j].dTPI >= m.dTPI })
+			st.coreList = append(st.coreList, coreMarg{})
+			copy(st.coreList[pos+1:], st.coreList[pos:])
+			st.coreList[pos] = m
+		}
+	}
+	st.coreValid = true
+}
+
+// utility is Δpower/Δperformance with the degenerate cases pinned: a free
+// move (no performance loss) has infinite utility; a move that saves no
+// power has negative utility proportional to its cost.
+func utility(dPower, dPerf float64) float64 {
+	if dPerf <= 1e-15 {
+		if dPower > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return dPower / dPerf
+}

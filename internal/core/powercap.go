@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+
+	"coscale/internal/policy"
+)
+
+// PowerCap is the §2.3 extension the paper sketches: "CoScale can be readily
+// extended to cap power with appropriate changes to its decision algorithm".
+// Instead of minimizing SER within a performance bound, PowerCap maximizes
+// performance subject to a full-system power budget (and still honours the
+// per-program slack bound when one is configured).
+//
+// The decision algorithm reuses the Figure 2 walk: starting from maximum
+// frequencies, it greedily takes the moves with the best marginal utility
+// (Δpower/Δperformance — the cheapest watts in performance terms) until the
+// predicted power fits under the cap. If the cap is unreachable even at
+// minimum frequencies, the lowest-power configuration is used.
+type PowerCap struct {
+	cfg   policy.Config
+	capW  float64
+	slack *policy.SlackBook
+}
+
+// NewPowerCap builds a power-capping controller with the given full-system
+// budget in watts.
+func NewPowerCap(cfg policy.Config, capWatts float64) *PowerCap {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if capWatts <= 0 {
+		panic("core: power cap must be positive")
+	}
+	return &PowerCap{
+		cfg:   cfg,
+		capW:  capWatts,
+		slack: policy.NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve),
+	}
+}
+
+// Name implements policy.Policy.
+func (p *PowerCap) Name() string { return "CoScale-PowerCap" }
+
+// Cap returns the configured budget in watts.
+func (p *PowerCap) Cap() float64 { return p.capW }
+
+// Observe implements policy.Policy.
+func (p *PowerCap) Observe(epoch policy.Observation) {
+	tMax := policy.TMaxForEpoch(p.cfg, epoch, policy.ZeroSteps(p.cfg.NCores), 0)
+	p.slack.RecordEpochFor(epoch.CoreThreads(), tMax, epoch.Window)
+}
+
+// Decide implements policy.Policy: descend until the cap is met, preferring
+// the moves that buy the most watts per unit of performance; among
+// cap-satisfying configurations choose the fastest (lowest worst slowdown).
+func (p *PowerCap) Decide(obs policy.Observation) policy.Decision {
+	ev := policy.NewEvaluator(p.cfg, obs)
+	n := p.cfg.NCores
+
+	// Performance limits still apply when Gamma > 0: a cap should shed
+	// watts, not starve one program beyond its SLO if avoidable.
+	limits := p.cfg.Limits(p.slack.AvailableFor(obs.CoreThreads()))
+
+	steps := policy.ZeroSteps(n)
+	memStep := 0
+	cur := ev.Evaluate(steps, memStep)
+
+	best := policy.Decision{CoreSteps: append([]int(nil), steps...), MemStep: memStep}
+	bestSlow := math.Inf(1)
+	bestPower := cur.Power.Total
+	found := cur.Power.Total <= p.capW
+	if found {
+		bestSlow = cur.MaxSlow
+	}
+
+	maxIters := p.cfg.MemLadder.Steps() + p.cfg.CoreLadder.Steps()*n
+	for iter := 0; iter < maxIters && cur.Power.Total > p.capW; iter++ {
+		move, ok := p.bestMove(ev, steps, memStep, cur, limits)
+		if !ok {
+			break
+		}
+		steps, memStep, cur = move.steps, move.memStep, move.eval
+		under := cur.Power.Total <= p.capW
+		switch {
+		case under && cur.MaxSlow < bestSlow:
+			bestSlow = cur.MaxSlow
+			best = policy.Decision{CoreSteps: append([]int(nil), steps...), MemStep: memStep}
+			found = true
+		case !found && cur.Power.Total < bestPower:
+			// Track the lowest-power configuration as a fallback.
+			bestPower = cur.Power.Total
+			best = policy.Decision{CoreSteps: append([]int(nil), steps...), MemStep: memStep}
+		}
+	}
+	return best
+}
+
+type capMove struct {
+	steps   []int
+	memStep int
+	eval    policy.Eval
+}
+
+// bestMove evaluates one memory step down and one step down for the most
+// scalable core, taking whichever sheds the most power per unit slowdown.
+// Slack limits are ignored once the system is over cap with no compliant
+// move available — capping takes precedence over the SLO.
+func (p *PowerCap) bestMove(ev *policy.Evaluator, steps []int, memStep int, cur policy.Eval, limits []float64) (capMove, bool) {
+	var cands []capMove
+	if !p.cfg.MemLadder.Bottom(memStep) {
+		cands = append(cands, capMove{steps: append([]int(nil), steps...), memStep: memStep + 1})
+	}
+	for i := range steps {
+		if p.cfg.CoreLadder.Bottom(steps[i]) {
+			continue
+		}
+		s := append([]int(nil), steps...)
+		s[i]++
+		cands = append(cands, capMove{steps: s, memStep: memStep})
+	}
+	if len(cands) == 0 {
+		return capMove{}, false
+	}
+	bestU := math.Inf(-1)
+	var best capMove
+	var bestOK bool
+	// Prefer moves within the slack bound; fall back to any move if the
+	// cap cannot otherwise be met.
+	for pass := 0; pass < 2 && !bestOK; pass++ {
+		for _, c := range cands {
+			e := ev.Evaluate(c.steps, c.memStep)
+			if pass == 0 && !policy.WithinBound(e, limits) {
+				continue
+			}
+			dPower := cur.Power.Total - e.Power.Total
+			dPerf := e.MaxSlow - cur.MaxSlow
+			u := utility(dPower, dPerf)
+			if u > bestU {
+				bestU = u
+				c.eval = e
+				best = c
+				bestOK = true
+			}
+		}
+	}
+	return best, bestOK
+}

@@ -1,0 +1,108 @@
+package counters
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoreSubAndRatios(t *testing.T) {
+	start := Core{Cycles: 100, TIC: 50, TMS: 5, TLA: 6, TLM: 2, TLS: 2}
+	end := Core{Cycles: 1100, TIC: 1050, TMS: 105, TLA: 126, TLM: 22, TLS: 22}
+	d := end.Sub(start)
+	if d.Cycles != 1000 || d.TIC != 1000 {
+		t.Fatalf("Sub deltas = %+v", d)
+	}
+	if got := d.Alpha(); got != 0.1 {
+		t.Errorf("Alpha() = %g, want 0.1", got)
+	}
+	if got := d.Beta(); got != 0.02 {
+		t.Errorf("Beta() = %g, want 0.02", got)
+	}
+	if got := d.CPI(); got != 1.0 {
+		t.Errorf("CPI() = %g, want 1", got)
+	}
+	if got := d.MPKI(); got != 20 {
+		t.Errorf("MPKI() = %g, want 20", got)
+	}
+}
+
+func TestZeroInstructionWindow(t *testing.T) {
+	var c Core
+	if c.Alpha() != 0 || c.Beta() != 0 || c.CPI() != 0 || c.MPKI() != 0 {
+		t.Error("zero-instruction window should yield zero ratios")
+	}
+	var ch Channel
+	if ch.BusUtilization() != 0 || ch.XiBus() != 0 || ch.XiBank() != 0 {
+		t.Error("zero-cycle channel window should yield zero ratios")
+	}
+}
+
+func TestCoreAddSubRoundTrip(t *testing.T) {
+	f := func(a, b Core) bool {
+		sum := a
+		sum.Add(b)
+		return sum.Sub(a) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelAddSubRoundTrip(t *testing.T) {
+	f := func(a, b Channel) bool {
+		sum := a
+		sum.Add(b)
+		return sum.Sub(a) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelRatios(t *testing.T) {
+	c := Channel{
+		BusCycles:          1000,
+		Reads:              80,
+		Writes:             20,
+		ReadQueueOccupancy: 500,
+		BankOccupancy:      1500,
+		BusBusyCycles:      400,
+	}
+	if got := c.Accesses(); got != 100 {
+		t.Errorf("Accesses() = %d", got)
+	}
+	if got := c.BusUtilization(); got != 0.4 {
+		t.Errorf("BusUtilization() = %g", got)
+	}
+	if got := c.XiBus(); got != 0.5 {
+		t.Errorf("XiBus() = %g", got)
+	}
+	if got := c.XiBank(); got != 1.5 {
+		t.Errorf("XiBank() = %g", got)
+	}
+}
+
+func TestSystemSnapshotIsolation(t *testing.T) {
+	s := NewSystem(4, 2)
+	s.Cores[0].TIC = 10
+	snap := s.Snapshot()
+	s.Cores[0].TIC = 99
+	s.Channels[1].Reads = 7
+	if snap.Cores[0].TIC != 10 {
+		t.Error("snapshot shares storage with live counters")
+	}
+	if snap.Channels[1].Reads != 0 {
+		t.Error("snapshot channel shares storage with live counters")
+	}
+	d := s.Snapshot().Sub(snap)
+	if d.Cores[0].TIC != 89 || d.Channels[1].Reads != 7 {
+		t.Errorf("System.Sub deltas wrong: %+v", d)
+	}
+}
+
+func TestNewSystemShape(t *testing.T) {
+	s := NewSystem(16, 4)
+	if len(s.Cores) != 16 || len(s.Channels) != 4 {
+		t.Fatalf("NewSystem shape = %d cores, %d channels", len(s.Cores), len(s.Channels))
+	}
+}

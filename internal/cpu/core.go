@@ -1,0 +1,268 @@
+// Package cpu provides the trace-driven core model of the detailed backend:
+// in-order, single-issue cores with one outstanding LLC miss (Table 2),
+// optionally extended with a bounded miss window that emulates the paper's
+// 128-instruction OoO memory-level-parallelism study, and an optional
+// next-line prefetcher. Cores drive the cycle-level shared L2
+// (internal/cache) and DDR3 memory system (internal/dram).
+package cpu
+
+import (
+	"fmt"
+
+	"coscale/internal/cache"
+	"coscale/internal/dram"
+	"coscale/internal/trace"
+)
+
+// Core is one trace-driven core.
+type Core struct {
+	ID  int
+	Hz  float64
+	Gen *trace.Generator
+
+	// MissWindow is the number of outstanding demand misses allowed
+	// (1 = in-order; the OoO study uses the profile's MLP).
+	MissWindow int
+
+	cpiBase float64
+
+	credit      float64 // accumulated core cycles to spend
+	gapCycles   float64 // cycles left executing until the next access
+	l2Cycles    float64 // cycles left stalled on an L2 hit
+	outstanding int     // demand misses in flight
+	pending     *trace.MemAccess
+
+	// statistics
+	Instructions uint64
+	Cycles       float64
+	L2Hits       uint64
+	L2Misses     uint64
+	MemStallCyc  float64
+}
+
+// System couples cores, the shared L2 and the memory system, advancing them
+// on the memory bus clock.
+type System struct {
+	Cores    []*Core
+	L2       *cache.L2
+	Mem      *dram.Memory
+	Prefetch bool
+
+	// L2HitTime is the shared-cache hit latency in seconds (fixed
+	// domain).
+	L2HitTime float64
+
+	wbPending [][]dram.Request // per-core writebacks awaiting queue space
+	pfPending []dram.Request
+
+	// BusCyclesRun counts total bus cycles simulated.
+	BusCyclesRun int64
+}
+
+// NewSystem wires cores to a cache and memory system.
+func NewSystem(cores []*Core, l2 *cache.L2, mem *dram.Memory) *System {
+	return &System{
+		Cores:     cores,
+		L2:        l2,
+		Mem:       mem,
+		L2HitTime: cache.DefaultHitTime,
+		wbPending: make([][]dram.Request, len(cores)),
+	}
+}
+
+// NewCore builds a core over a profile stream.
+func NewCore(id int, hz float64, p *trace.AppProfile, budget, seed uint64, ooo bool) *Core {
+	window := 1
+	if ooo {
+		window = int(p.MLP + 0.5)
+		if window < 1 {
+			window = 1
+		}
+	}
+	return &Core{
+		ID:         id,
+		Hz:         hz,
+		Gen:        trace.NewGenerator(p, id, budget, seed),
+		MissWindow: window,
+		cpiBase:    p.CPIBase,
+	}
+}
+
+// Run advances the whole system by busCycles memory-bus cycles.
+func (s *System) Run(busCycles int) error {
+	busHz := s.Mem.BusHz()
+	for c := 0; c < busCycles; c++ {
+		// Retry deferred writebacks and prefetches.
+		s.drainPending()
+
+		// One bus cycle of core execution.
+		dt := 1.0 / busHz
+		for _, core := range s.Cores {
+			core.credit += core.Hz * dt
+			if err := s.execute(core); err != nil {
+				return err
+			}
+		}
+
+		// One memory cycle; deliver completions.
+		for _, done := range s.Mem.Tick(1) {
+			s.complete(done)
+		}
+		s.BusCyclesRun++
+	}
+	return nil
+}
+
+func (s *System) drainPending() {
+	for i := range s.wbPending {
+		for len(s.wbPending[i]) > 0 {
+			if !s.Mem.Enqueue(s.wbPending[i][0]) {
+				break
+			}
+			s.wbPending[i] = s.wbPending[i][1:]
+		}
+	}
+	for len(s.pfPending) > 0 {
+		if !s.Mem.Enqueue(s.pfPending[0]) {
+			break
+		}
+		s.pfPending = s.pfPending[1:]
+	}
+}
+
+// execute spends a core's accumulated cycle credit.
+func (s *System) execute(core *Core) error {
+	for core.credit > 0 {
+		switch {
+		case core.outstanding >= core.MissWindow:
+			// Blocked on memory: burn the credit as stall time.
+			core.MemStallCyc += core.credit
+			core.Cycles += core.credit
+			core.credit = 0
+
+		case core.l2Cycles > 0:
+			// Stalled on an L2 hit.
+			spend := min(core.credit, core.l2Cycles)
+			core.l2Cycles -= spend
+			core.credit -= spend
+			core.Cycles += spend
+
+		case core.gapCycles > 0:
+			spend := min(core.credit, core.gapCycles)
+			core.gapCycles -= spend
+			core.credit -= spend
+			core.Cycles += spend
+
+		default:
+			// Fetch the next trace record and perform its access.
+			if core.pending == nil {
+				a := core.Gen.Next()
+				core.pending = &a
+				core.Instructions += a.Gap
+				core.gapCycles = float64(a.Gap) * core.cpiBase
+				continue
+			}
+			a := *core.pending
+			core.pending = nil
+			if err := s.access(core, a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// access performs one L2 access, issuing DRAM traffic on a miss.
+func (s *System) access(core *Core, a trace.MemAccess) error {
+	res := s.L2.Access(a.Addr, a.Write, core.ID)
+	if res.Writeback {
+		s.queueWriteback(core.ID, res.WbAddr)
+	}
+	if res.Hit {
+		core.L2Hits++
+		core.l2Cycles = s.L2HitTime * core.Hz
+		return nil
+	}
+	core.L2Misses++
+	req := dram.Request{Addr: a.Addr, Core: core.ID}
+	if !s.Mem.Enqueue(req) {
+		// Read queue full: stall as if outstanding until space frees.
+		// Model by treating it as an in-flight miss retried next cycle.
+		core.pending = &a
+		core.L2Misses-- // will retry; avoid double count
+		s.L2.Misses[core.ID]--
+		core.MemStallCyc += core.credit
+		core.Cycles += core.credit
+		core.credit = 0
+		return nil
+	}
+	core.outstanding++
+	if s.Prefetch {
+		next := a.Addr + 64
+		s.pfPending = append(s.pfPending, dram.Request{Addr: next, Core: core.ID, Prefetch: true})
+	}
+	return nil
+}
+
+func (s *System) queueWriteback(core int, addr uint64) {
+	req := dram.Request{Addr: addr, Write: true, Core: core}
+	if !s.Mem.Enqueue(req) {
+		s.wbPending[core] = append(s.wbPending[core], req)
+	}
+}
+
+// complete routes a DRAM completion back to its core or the cache.
+func (s *System) complete(done dram.Completion) {
+	if done.Req.Write {
+		return
+	}
+	if done.Req.Prefetch {
+		if res := s.L2.Fill(done.Req.Addr, done.Req.Core); res.Writeback {
+			s.queueWriteback(done.Req.Core, res.WbAddr)
+		}
+		return
+	}
+	core := s.Cores[done.Req.Core]
+	if core.outstanding > 0 {
+		core.outstanding--
+	}
+}
+
+// CPI returns a core's achieved cycles per instruction.
+func (c *Core) CPI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return c.Cycles / float64(c.Instructions)
+}
+
+// TPI returns a core's achieved seconds per instruction.
+func (c *Core) TPI() float64 {
+	if c.Hz <= 0 {
+		return 0
+	}
+	return c.CPI() / c.Hz
+}
+
+// MPKI returns a core's demand misses per kilo-instruction.
+func (c *Core) MPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(c.L2Misses) / float64(c.Instructions)
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Validate checks the system wiring.
+func (s *System) Validate() error {
+	if len(s.Cores) == 0 || s.L2 == nil || s.Mem == nil {
+		return fmt.Errorf("cpu: system requires cores, cache and memory")
+	}
+	return nil
+}

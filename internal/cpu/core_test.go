@@ -1,0 +1,155 @@
+package cpu
+
+import (
+	"testing"
+
+	"coscale/internal/cache"
+	"coscale/internal/dram"
+	"coscale/internal/trace"
+)
+
+func smallL2(t *testing.T, cores int) *cache.L2 {
+	t.Helper()
+	l2, err := cache.NewL2(1<<20, 16, 64, cores) // 1 MB for fast warm-up
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l2
+}
+
+func mkSystem(t *testing.T, apps []string, hz float64, ooo, prefetch bool) *System {
+	t.Helper()
+	mem, err := dram.New(dram.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := smallL2(t, len(apps))
+	cores := make([]*Core, len(apps))
+	for i, name := range apps {
+		cores[i] = NewCore(i, hz, trace.MustLookup(name), 1_000_000, 42, ooo)
+	}
+	s := NewSystem(cores, l2, mem)
+	s.Prefetch = prefetch
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	s := &System{}
+	if s.Validate() == nil {
+		t.Error("empty system validated")
+	}
+}
+
+func TestCoresMakeProgress(t *testing.T) {
+	s := mkSystem(t, []string{"gzip", "swim", "ammp", "milc"}, 4e9, false, false)
+	if err := s.Run(200_000); err != nil { // 250 µs at 800 MHz
+		t.Fatal(err)
+	}
+	for _, c := range s.Cores {
+		if c.Instructions == 0 {
+			t.Errorf("core %d retired nothing", c.ID)
+		}
+		if c.CPI() < 1.0 {
+			t.Errorf("core %d CPI %.2f below 1 (single-issue in-order)", c.ID, c.CPI())
+		}
+	}
+}
+
+func TestMemoryBoundAppRunsSlower(t *testing.T) {
+	s := mkSystem(t, []string{"gzip", "swim"}, 4e9, false, false)
+	if err := s.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	gzip, swim := s.Cores[0], s.Cores[1]
+	if swim.CPI() <= gzip.CPI() {
+		t.Errorf("swim CPI %.2f should exceed gzip CPI %.2f", swim.CPI(), gzip.CPI())
+	}
+	if swim.MPKI() <= gzip.MPKI() {
+		t.Errorf("swim MPKI %.2f should exceed gzip MPKI %.2f", swim.MPKI(), gzip.MPKI())
+	}
+}
+
+func TestLowerCoreFrequencyRaisesTPI(t *testing.T) {
+	fast := mkSystem(t, []string{"gzip"}, 4e9, false, false)
+	slow := mkSystem(t, []string{"gzip"}, 2.2e9, false, false)
+	if err := fast.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if slow.Cores[0].TPI() <= fast.Cores[0].TPI() {
+		t.Errorf("TPI at 2.2 GHz (%.3g) should exceed 4 GHz (%.3g)",
+			slow.Cores[0].TPI(), fast.Cores[0].TPI())
+	}
+}
+
+func TestOoOWindowReducesMemStall(t *testing.T) {
+	inorder := mkSystem(t, []string{"swim", "swim", "swim", "swim"}, 4e9, false, false)
+	ooo := mkSystem(t, []string{"swim", "swim", "swim", "swim"}, 4e9, true, false)
+	if err := inorder.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := ooo.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	if ooo.Cores[0].MissWindow <= 1 {
+		t.Fatal("OoO core did not get a miss window")
+	}
+	if ooo.Cores[0].CPI() >= inorder.Cores[0].CPI() {
+		t.Errorf("OoO CPI %.2f should beat in-order %.2f", ooo.Cores[0].CPI(), inorder.Cores[0].CPI())
+	}
+}
+
+func TestPrefetchReducesDemandMisses(t *testing.T) {
+	base := mkSystem(t, []string{"swim"}, 4e9, false, false)
+	pref := mkSystem(t, []string{"swim"}, 4e9, false, true)
+	if err := base.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := pref.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	// swim's stream is 80% sequential, so next-line prefetching must cut
+	// the demand miss rate.
+	if pref.Cores[0].MPKI() >= base.Cores[0].MPKI() {
+		t.Errorf("prefetch MPKI %.2f should be below base %.2f",
+			pref.Cores[0].MPKI(), base.Cores[0].MPKI())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := mkSystem(t, []string{"milc", "gcc"}, 4e9, false, false)
+	b := mkSystem(t, []string{"milc", "gcc"}, 4e9, false, false)
+	if err := a.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cores {
+		if a.Cores[i].Instructions != b.Cores[i].Instructions || a.Cores[i].Cycles != b.Cores[i].Cycles {
+			t.Errorf("core %d diverged across identical runs", i)
+		}
+	}
+}
+
+func TestSharedCacheContention(t *testing.T) {
+	// gzip alone vs gzip sharing the L2 with three copies of swim: the
+	// co-runners must raise gzip's miss rate.
+	alone := mkSystem(t, []string{"gzip"}, 4e9, false, false)
+	shared := mkSystem(t, []string{"gzip", "swim", "swim", "swim"}, 4e9, false, false)
+	if err := alone.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Cores[0].MPKI() < alone.Cores[0].MPKI() {
+		t.Errorf("contention should not reduce gzip MPKI: %.3f vs %.3f",
+			shared.Cores[0].MPKI(), alone.Cores[0].MPKI())
+	}
+}

@@ -1,0 +1,347 @@
+package dram
+
+// channel is one DDR3 channel: queues, banks, ranks, the shared data bus and
+// its statistics. All times are in bus cycles on the memory clock.
+type channel struct {
+	cfg *Config
+	tm  *timing
+
+	readQ  []queued
+	writeQ []queued
+
+	banks     [][]int64 // [rank][bank] -> cycle the bank is free for a new ACT
+	busFreeAt int64
+
+	// Open-page state: the row currently latched in each bank's row
+	// buffer (meaningful only under Config.RowPolicy == OpenPage).
+	rowOpen [][]bool
+	openRow [][]uint64
+
+	rankActiveUntil []int64 // rank has an open row until this cycle
+	rankIdleSince   []int64
+	rankPoweredDown []bool
+	rankActs        [][]int64 // recent ACT issue cycles per rank (tFAW window)
+	lastActAt       []int64   // last ACT per rank (tRRD)
+	nextRefresh     []int64
+
+	stats Stats
+
+	// energy accounting: state cycle counts per rank aggregated
+	activeStandbyCyc    int64
+	prechargeStandbyCyc int64
+	powerdownCyc        int64
+	refreshCyc          int64
+	readBurstCyc        int64
+	writeBurstCyc       int64
+	acts                int64
+}
+
+type queued struct {
+	req Request
+	loc Location
+}
+
+func newChannel(cfg *Config, tm *timing) *channel {
+	ranks := cfg.RanksPerChannel()
+	ch := &channel{cfg: cfg, tm: tm}
+	ch.banks = make([][]int64, ranks)
+	ch.rowOpen = make([][]bool, ranks)
+	ch.openRow = make([][]uint64, ranks)
+	for r := range ch.banks {
+		ch.banks[r] = make([]int64, cfg.BanksPerRank)
+		ch.rowOpen[r] = make([]bool, cfg.BanksPerRank)
+		ch.openRow[r] = make([]uint64, cfg.BanksPerRank)
+	}
+	ch.rankActiveUntil = make([]int64, ranks)
+	ch.rankIdleSince = make([]int64, ranks)
+	ch.rankPoweredDown = make([]bool, ranks)
+	ch.rankActs = make([][]int64, ranks)
+	ch.lastActAt = make([]int64, ranks)
+	ch.nextRefresh = make([]int64, ranks)
+	for r := 0; r < ranks; r++ {
+		ch.lastActAt[r] = -1 << 40
+		// Stagger refreshes across ranks.
+		ch.nextRefresh[r] = tm.refreshEvery * int64(r+1) / int64(ranks)
+	}
+	return ch
+}
+
+// retime resets frequency-dependent schedule state after a clock change
+// (queues are drained at that point).
+func (ch *channel) retime(now int64) {
+	for r := range ch.nextRefresh {
+		ch.nextRefresh[r] = now + ch.tm.refreshEvery*int64(r+1)/int64(len(ch.nextRefresh))
+		ch.lastActAt[r] = -1 << 40
+		ch.rankActs[r] = nil
+	}
+	ch.busFreeAt = now
+}
+
+func (ch *channel) enqueue(r Request, loc Location) bool {
+	q := queued{req: r, loc: loc}
+	if r.Write {
+		if len(ch.writeQ) >= ch.cfg.WriteQueueDepth {
+			return false
+		}
+		ch.writeQ = append(ch.writeQ, q)
+	} else {
+		if len(ch.readQ) >= ch.cfg.ReadQueueDepth {
+			return false
+		}
+		ch.readQ = append(ch.readQ, q)
+	}
+	return true
+}
+
+func (ch *channel) idle(now int64) bool {
+	if len(ch.readQ) > 0 || len(ch.writeQ) > 0 {
+		return false
+	}
+	for _, rank := range ch.banks {
+		for _, free := range rank {
+			if free > now {
+				return false
+			}
+		}
+	}
+	return ch.busFreeAt <= now
+}
+
+// step advances one bus cycle: refresh, scheduling, statistics and energy
+// state accounting.
+func (ch *channel) step(now int64, done *[]Completion) {
+	ch.refresh(now)
+	ch.schedule(now, done)
+	ch.account(now)
+}
+
+// refresh issues a per-rank refresh when due and the rank is quiescent.
+func (ch *channel) refresh(now int64) {
+	for r := range ch.nextRefresh {
+		if now < ch.nextRefresh[r] {
+			continue
+		}
+		if !ch.rankQuiescent(r, now) {
+			continue // postponed until the rank drains
+		}
+		for b := range ch.banks[r] {
+			ch.banks[r][b] = now + ch.tm.tRFC
+			ch.rowOpen[r][b] = false // refresh precharges all banks
+		}
+		ch.rankActiveUntil[r] = now // open rows closed; rank idles after tRFC
+		ch.rankPoweredDown[r] = false
+		ch.rankIdleSince[r] = now + ch.tm.tRFC
+		ch.refreshCyc += ch.tm.tRFC
+		ch.stats.Refreshes++
+		ch.nextRefresh[r] += ch.tm.refreshEvery
+	}
+}
+
+func (ch *channel) rankQuiescent(r int, now int64) bool {
+	for _, free := range ch.banks[r] {
+		if free > now {
+			return false
+		}
+	}
+	return true
+}
+
+// schedule issues at most one command stream start per cycle: FCFS, reads
+// prioritized over writebacks until the writeback queue is half full.
+func (ch *channel) schedule(now int64, done *[]Completion) {
+	writesFirst := len(ch.writeQ) >= ch.cfg.WriteQueueDepth/2
+	var issued bool
+	if writesFirst {
+		issued = ch.tryIssue(&ch.writeQ, now, done)
+		if !issued {
+			issued = ch.tryIssue(&ch.readQ, now, done)
+		}
+	} else {
+		issued = ch.tryIssue(&ch.readQ, now, done)
+		if !issued {
+			_ = ch.tryIssue(&ch.writeQ, now, done)
+		}
+	}
+}
+
+// tryIssue attempts to issue the head of q at cycle now. Under closed-page
+// management every request is ACT + RD/WR with auto-precharge; under
+// open-page management a row-buffer hit skips the activate (and its tRRD /
+// tFAW constraints), a conflict pays an extra precharge, and rows stay open
+// until a conflict or refresh closes them.
+func (ch *channel) tryIssue(q *[]queued, now int64, done *[]Completion) bool {
+	if len(*q) == 0 {
+		return false
+	}
+	head := (*q)[0]
+	r, b := head.loc.Rank, head.loc.Bank
+
+	openPage := ch.cfg.RowPolicy == OpenPage
+	rowHit := openPage && ch.rowOpen[r][b] && ch.openRow[r][b] == head.loc.Row
+	rowConflict := openPage && ch.rowOpen[r][b] && !rowHit
+
+	actAt := now
+	// Powerdown exit penalty.
+	if ch.rankPoweredDown[r] {
+		actAt += ch.tm.tXP
+	}
+	// Bank must be free.
+	if ch.banks[r][b] > now {
+		return false
+	}
+	if !rowHit {
+		// An activate will issue: tRRD window.
+		if actAt < ch.lastActAt[r]+ch.tm.tRRD {
+			return false
+		}
+		// tFAW: at most 4 activates per rank in any tFAW window.
+		acts := ch.rankActs[r]
+		if len(acts) >= 4 && actAt < acts[len(acts)-4]+ch.tm.tFAW {
+			return false
+		}
+	}
+	// Command timing up to the data burst.
+	lead := ch.tm.tRCD // closed page / open-bank miss: ACT then CAS
+	switch {
+	case rowHit:
+		lead = 0 // CAS only
+	case rowConflict:
+		lead = ch.tm.tRP + ch.tm.tRCD // PRE, ACT, CAS
+	}
+	burstStart := actAt + lead + ch.tm.tCL
+	// Data bus availability at transfer time.
+	if burstStart < ch.busFreeAt {
+		return false
+	}
+
+	// Issue.
+	burstEnd := burstStart + ch.tm.burst
+	ch.busFreeAt = burstEnd
+	var bankFree int64
+	if head.req.Write {
+		bankFree = burstEnd + ch.tm.tWR
+		if !openPage {
+			bankFree += ch.tm.tRP // auto-precharge
+		}
+		ch.writeBurstCyc += ch.tm.burst
+		ch.stats.Writes++
+		ch.stats.RetiredWrites++
+	} else {
+		if openPage {
+			bankFree = burstEnd // row stays open
+		} else {
+			rtp := actAt + ch.tm.tRCD + ch.tm.tRTP
+			if min := actAt + ch.tm.tRAS; rtp < min {
+				rtp = min
+			}
+			bankFree = rtp + ch.tm.tRP
+		}
+		ch.readBurstCyc += ch.tm.burst
+		ch.stats.Reads++
+	}
+	if !rowHit {
+		if min := actAt + lead - ch.tm.tRCD + ch.tm.tRAS; bankFree < min {
+			bankFree = min // tRAS from the activate
+		}
+		if !openPage {
+			if min := actAt + ch.tm.tRAS + ch.tm.tRP; bankFree < min {
+				bankFree = min
+			}
+		}
+	}
+	if openPage {
+		ch.rowOpen[r][b] = true
+		ch.openRow[r][b] = head.loc.Row
+		if rowHit {
+			ch.stats.RowHits++
+		} else {
+			ch.stats.RowMisses++
+		}
+	} else {
+		ch.stats.RowMisses++ // every closed-page access opens its row
+	}
+	ch.banks[r][b] = bankFree
+	if !rowHit {
+		// Activate bookkeeping: tRRD/tFAW windows and energy.
+		ch.lastActAt[r] = actAt
+		ch.rankActs[r] = append(ch.rankActs[r], actAt)
+		if len(ch.rankActs[r]) > 8 {
+			ch.rankActs[r] = ch.rankActs[r][len(ch.rankActs[r])-8:]
+		}
+		ch.stats.Activates++
+		ch.acts++
+	}
+	ch.rankPoweredDown[r] = false
+	if bankFree > ch.rankActiveUntil[r] {
+		ch.rankActiveUntil[r] = bankFree
+	}
+	ch.stats.BusBusy += ch.tm.burst
+	ch.stats.LatencySum += burstEnd - head.req.arrival
+	*done = append(*done, Completion{Req: head.req, Latency: burstEnd - head.req.arrival})
+	*q = (*q)[1:]
+	return true
+}
+
+// account samples per-cycle occupancy and rank power states.
+func (ch *channel) account(now int64) {
+	ch.stats.QueueOcc += int64(len(ch.readQ) + len(ch.writeQ))
+	busy := int64(0)
+	for _, rank := range ch.banks {
+		for _, free := range rank {
+			if free > now {
+				busy++
+			}
+		}
+	}
+	ch.stats.BankOcc += busy
+
+	for r := range ch.rankActiveUntil {
+		// Under open-page management a rank with any open row burns
+		// active-standby power regardless of command activity.
+		openRows := false
+		if ch.cfg.RowPolicy == OpenPage {
+			for b := range ch.rowOpen[r] {
+				if ch.rowOpen[r][b] {
+					openRows = true
+					break
+				}
+			}
+		}
+		switch {
+		case openRows || ch.rankActiveUntil[r] > now:
+			ch.activeStandbyCyc++
+			ch.stats.ActiveCycles++
+			ch.rankIdleSince[r] = now + 1
+		case ch.rankPoweredDown[r]:
+			ch.powerdownCyc++
+			ch.stats.PowerdownCyc++
+		default:
+			ch.prechargeStandbyCyc++
+			if ch.cfg.PowerdownIdleCycles > 0 && now-ch.rankIdleSince[r] >= int64(ch.cfg.PowerdownIdleCycles) {
+				ch.rankPoweredDown[r] = true
+			}
+		}
+	}
+}
+
+// energy converts state-cycle counts into joules using the Micron
+// methodology: P_state = IDD_state × VDD × devices; E = Σ P × cycles / f.
+// Activate-precharge energy uses the (IDD0 − IDD3N) increment over tRC, and
+// burst energy the (IDD4 − IDD3N) increment over the burst.
+func (ch *channel) energy(cfg *Config) float64 {
+	perDev := cfg.VDD * float64(cfg.DevicesPerRank)
+	f := cfg.BusHz
+	cycSec := 1.0 / f
+
+	e := 0.0
+	e += cfg.IDD3N * perDev * float64(ch.activeStandbyCyc) * cycSec
+	e += cfg.IDD2N * perDev * float64(ch.prechargeStandbyCyc) * cycSec
+	e += cfg.IDD2P * perDev * float64(ch.powerdownCyc) * cycSec
+	e += cfg.IDD5 * perDev * float64(ch.refreshCyc) * cycSec
+
+	tRC := float64(cyc(cfg.TRASNs+cfg.TRPNs, f))
+	e += (cfg.IDD0 - cfg.IDD3N) * perDev * float64(ch.acts) * tRC * cycSec
+	e += (cfg.IDD4R - cfg.IDD3N) * perDev * float64(ch.readBurstCyc) * cycSec
+	e += (cfg.IDD4W - cfg.IDD3N) * perDev * float64(ch.writeBurstCyc) * cycSec
+	return e
+}

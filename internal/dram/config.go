@@ -1,0 +1,176 @@
+// Package dram is a cycle-level DDR3 memory-system simulator: channels,
+// registered dual-rank DIMMs, banks, closed-page row-buffer management, FCFS
+// scheduling with read priority (until the writeback queue is half full),
+// bank-interleaved address mapping, refresh, precharge powerdown, bus
+// frequency scaling with DLL re-lock penalties, and IDD-based power
+// accounting following Micron's DDR3 power methodology.
+//
+// It is the detailed substrate of the paper's two-step methodology
+// (DESIGN.md §1): the fast epoch backend's analytic queueing model
+// (internal/memsys) is calibrated against this simulator in the
+// cross-validation tests in internal/sim.
+package dram
+
+import (
+	"fmt"
+	"time"
+)
+
+// RowPolicy selects the row-buffer management policy.
+type RowPolicy int
+
+// Row-buffer policies. The paper's MC uses closed-page management, "which
+// outperforms open-page policies for multi-core CPUs" (§4.1) — the
+// comparison is reproduced in the benchmarks.
+const (
+	ClosedPage RowPolicy = iota // auto-precharge after every access (default)
+	OpenPage                    // rows stay open; conflicts pay an extra precharge
+)
+
+// Config describes the memory system (Table 2 defaults).
+type Config struct {
+	Channels        int
+	DIMMsPerChannel int
+	RanksPerDIMM    int
+	BanksPerRank    int
+
+	// RowPolicy is the row-buffer management policy (default ClosedPage).
+	RowPolicy RowPolicy
+
+	BusHz float64 // initial bus frequency (data rate is 2x)
+
+	// DRAM core timing in nanoseconds (fixed across bus frequencies).
+	TRCDNs float64 // activate to read/write
+	TRPNs  float64 // precharge
+	TCLNs  float64 // CAS latency
+	TRASNs float64 // activate to precharge minimum
+	TWRNs  float64 // write recovery
+	TRFCNs float64 // refresh cycle time
+
+	// Interface timing in bus cycles at the current frequency.
+	BurstCycles int // data burst length on the bus (BL8 on DDR = 4)
+	TRTPCycles  int // read to precharge
+	TRRDCycles  int // activate to activate, same rank
+	TFAWCycles  int // four-activate window
+	TXPCycles   int // powerdown exit
+
+	RefreshPeriod time.Duration // tREFI x rows; per-rank refresh interval (64 ms / 8192 rows)
+
+	// PowerdownIdleCycles is the idle timeout before a rank enters
+	// precharge powerdown (0 disables powerdown).
+	PowerdownIdleCycles int
+
+	// Queue capacities per channel.
+	ReadQueueDepth  int
+	WriteQueueDepth int
+
+	// Electrical parameters for the Micron power methodology, per DRAM
+	// device, with Table 2 currents (mA) at VDD.
+	VDD            float64
+	DevicesPerRank int
+	IDD0           float64 // activate-precharge average
+	IDD2P          float64 // precharge powerdown
+	IDD2N          float64 // precharge standby
+	IDD3P          float64 // active powerdown
+	IDD3N          float64 // active standby
+	IDD4R          float64 // burst read
+	IDD4W          float64 // burst write
+	IDD5           float64 // refresh
+
+	RowBytes   int // row (page) size in bytes, for address mapping
+	BlockBytes int // request granularity (cache block)
+}
+
+// DefaultConfig returns the Table 2 memory system at 800 MHz.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        4,
+		DIMMsPerChannel: 2,
+		RanksPerDIMM:    2,
+		BanksPerRank:    8,
+		BusHz:           800e6,
+
+		TRCDNs: 15, TRPNs: 15, TCLNs: 15,
+		TRASNs: 35, TWRNs: 15, TRFCNs: 110,
+
+		BurstCycles: 4,
+		TRTPCycles:  5,
+		TRRDCycles:  4,
+		TFAWCycles:  20,
+		TXPCycles:   5,
+
+		RefreshPeriod:       7813 * time.Nanosecond, // 64 ms / 8192 rows
+		PowerdownIdleCycles: 32,
+
+		ReadQueueDepth:  64,
+		WriteQueueDepth: 64,
+
+		VDD:            1.5,
+		DevicesPerRank: 18, // x4 devices forming a 72-bit ECC rank
+		IDD0:           120e-3,
+		IDD2P:          45e-3,
+		IDD2N:          70e-3,
+		IDD3P:          45e-3,
+		IDD3N:          67e-3,
+		IDD4R:          250e-3,
+		IDD4W:          250e-3,
+		IDD5:           240e-3,
+
+		RowBytes:   8192,
+		BlockBytes: 64,
+	}
+}
+
+// Validate checks structural soundness.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0 || c.DIMMsPerChannel <= 0 || c.RanksPerDIMM <= 0 || c.BanksPerRank <= 0:
+		return fmt.Errorf("dram: geometry must be positive")
+	case c.BusHz <= 0:
+		return fmt.Errorf("dram: BusHz must be positive")
+	case c.BurstCycles <= 0 || c.BlockBytes <= 0 || c.RowBytes < c.BlockBytes:
+		return fmt.Errorf("dram: invalid burst/block/row sizes")
+	case c.ReadQueueDepth <= 0 || c.WriteQueueDepth <= 0:
+		return fmt.Errorf("dram: queue depths must be positive")
+	}
+	return nil
+}
+
+// RanksPerChannel returns the rank count on one channel.
+func (c Config) RanksPerChannel() int { return c.DIMMsPerChannel * c.RanksPerDIMM }
+
+// cyc converts nanoseconds to whole bus cycles at frequency hz, rounding up.
+func cyc(ns, hz float64) int64 {
+	n := int64(ns * 1e-9 * hz)
+	if float64(n) < ns*1e-9*hz {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// timing is the per-frequency cycle conversion of Config.
+type timing struct {
+	tRCD, tRP, tCL, tRAS, tWR, tRFC int64
+	tRTP, tRRD, tFAW, tXP, burst    int64
+	refreshEvery                    int64
+}
+
+func (c Config) timingAt(hz float64) timing {
+	return timing{
+		tRCD:         cyc(c.TRCDNs, hz),
+		tRP:          cyc(c.TRPNs, hz),
+		tCL:          cyc(c.TCLNs, hz),
+		tRAS:         cyc(c.TRASNs, hz),
+		tWR:          cyc(c.TWRNs, hz),
+		tRFC:         cyc(c.TRFCNs, hz),
+		tRTP:         int64(c.TRTPCycles),
+		tRRD:         int64(c.TRRDCycles),
+		tFAW:         int64(c.TFAWCycles),
+		tXP:          int64(c.TXPCycles),
+		burst:        int64(c.BurstCycles),
+		refreshEvery: cyc(float64(c.RefreshPeriod.Nanoseconds()), hz),
+	}
+}

@@ -1,0 +1,330 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Memory {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.Channels = 0
+	if bad.Validate() == nil {
+		t.Error("zero channels accepted")
+	}
+	bad = DefaultConfig()
+	bad.BusHz = -1
+	if bad.Validate() == nil {
+		t.Error("negative frequency accepted")
+	}
+	bad = DefaultConfig()
+	bad.RowBytes = 32
+	if bad.Validate() == nil {
+		t.Error("row smaller than block accepted")
+	}
+}
+
+func TestAddressMappingInterleaves(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	// Consecutive blocks must hit consecutive channels.
+	for i := 0; i < 8; i++ {
+		loc := m.Map(uint64(i * 64))
+		if loc.Channel != i%4 {
+			t.Errorf("block %d mapped to channel %d, want %d", i, loc.Channel, i%4)
+		}
+	}
+	// After a full channel sweep, the bank advances.
+	a := m.Map(0)
+	b := m.Map(4 * 64)
+	if b.Bank != (a.Bank+1)%8 {
+		t.Errorf("bank did not advance: %+v -> %+v", a, b)
+	}
+}
+
+func TestMappingStaysInBounds(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	f := func(addr uint64) bool {
+		loc := m.Map(addr)
+		return loc.Channel >= 0 && loc.Channel < 4 &&
+			loc.Rank >= 0 && loc.Rank < 4 &&
+			loc.Bank >= 0 && loc.Bank < 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	if !m.Enqueue(Request{Addr: 0}) {
+		t.Fatal("enqueue refused")
+	}
+	done := m.Tick(200)
+	if len(done) != 1 {
+		t.Fatalf("%d completions, want 1", len(done))
+	}
+	// Unloaded closed-page read at 800 MHz: tRCD(12) + tCL(12) + burst(4)
+	// = 28 cycles = 35 ns (plus up to one scheduling cycle).
+	lat := done[0].Latency
+	if lat < 28 || lat > 30 {
+		t.Errorf("unloaded latency = %d cycles, want ≈28", lat)
+	}
+}
+
+func TestWriteCompletes(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	m.Enqueue(Request{Addr: 128, Write: true})
+	done := m.Tick(200)
+	if len(done) != 1 || !done[0].Req.Write {
+		t.Fatalf("write did not complete: %+v", done)
+	}
+	if s := m.Stats(); s.Writes != 1 || s.Reads != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBankConflictSerializes(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	// Two reads to the same bank, different rows: second must wait for
+	// the first's full ACT..PRE cycle.
+	stride := uint64(64 * 4 * 8 * 4 * 128) // same channel/bank/rank, different row
+	m.Enqueue(Request{Addr: 0})
+	m.Enqueue(Request{Addr: stride})
+	done := m.Tick(400)
+	if len(done) != 2 {
+		t.Fatalf("%d completions, want 2", len(done))
+	}
+	if done[1].Latency < done[0].Latency+20 {
+		t.Errorf("bank conflict not serialized: %d then %d", done[0].Latency, done[1].Latency)
+	}
+}
+
+func TestBankParallelismOverlaps(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	// Reads to different banks on one channel overlap: aggregate time for
+	// 8 requests must be far below 8x the serialized bank time.
+	for i := 0; i < 8; i++ {
+		m.Enqueue(Request{Addr: uint64(i) * 4 * 64}) // same channel, banks 0..7
+	}
+	done := m.Tick(600)
+	if len(done) != 8 {
+		t.Fatalf("%d completions, want 8", len(done))
+	}
+	last := done[7].Latency
+	if last > 8*30 {
+		t.Errorf("no bank overlap: last latency %d cycles", last)
+	}
+}
+
+func TestWritebackPriorityKicksIn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WriteQueueDepth = 8
+	m := mustNew(t, cfg)
+	// Fill the write queue to half on one channel, then add a read; the
+	// writes must be serviced ahead of the read once at half depth.
+	for i := 0; i < 4; i++ {
+		if !m.Enqueue(Request{Addr: uint64(i) * 4 * 64 * 8 * 4, Write: true}) {
+			t.Fatal("write enqueue refused")
+		}
+	}
+	m.Enqueue(Request{Addr: 64 * 4}) // different channel, irrelevant
+	m.Enqueue(Request{Addr: 0})      // channel 0 read
+	done := m.Tick(1000)
+	if len(done) != 6 {
+		t.Fatalf("%d completions, want 6", len(done))
+	}
+	// First completion on channel 0 must be a write.
+	for _, d := range done {
+		if m.Map(d.Req.Addr).Channel != 0 {
+			continue
+		}
+		if !d.Req.Write {
+			t.Error("read overtook a half-full writeback queue")
+		}
+		break
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadQueueDepth = 2
+	m := mustNew(t, cfg)
+	if !m.Enqueue(Request{Addr: 0}) || !m.Enqueue(Request{Addr: 16 * 64}) {
+		t.Fatal("first two enqueues refused")
+	}
+	if m.Enqueue(Request{Addr: 32 * 64}) {
+		t.Error("over-capacity enqueue accepted")
+	}
+}
+
+func TestRefreshHappens(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	m.Tick(40000) // 50 µs at 800 MHz: several tREFI per rank
+	if s := m.Stats(); s.Refreshes == 0 {
+		t.Error("no refreshes issued")
+	}
+}
+
+func TestPowerdownOnIdle(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	m.Tick(2000)
+	if s := m.Stats(); s.PowerdownCyc == 0 {
+		t.Error("idle ranks never powered down")
+	}
+	// Powerdown disabled: no powerdown cycles.
+	cfg := DefaultConfig()
+	cfg.PowerdownIdleCycles = 0
+	m2 := mustNew(t, cfg)
+	m2.Tick(2000)
+	if s := m2.Stats(); s.PowerdownCyc != 0 {
+		t.Error("powerdown happened despite being disabled")
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	unloaded := avgLatencyAt(t, 800e6, 40)
+	loaded := avgLatencyAt(t, 800e6, 4)
+	if loaded <= unloaded {
+		t.Errorf("loaded latency %.1f <= unloaded %.1f", loaded, unloaded)
+	}
+}
+
+func TestLatencyGrowsAsFrequencyDrops(t *testing.T) {
+	fast := avgLatencyNsAt(t, 800e6, 20)
+	slow := avgLatencyNsAt(t, 200e6, 20)
+	if slow <= fast {
+		t.Errorf("latency at 200 MHz (%.1f ns) should exceed 800 MHz (%.1f ns)", slow, fast)
+	}
+}
+
+// avgLatencyAt drives an open-loop uniform stream with one request per gap
+// cycles per channel and returns mean latency in cycles.
+func avgLatencyAt(t *testing.T, hz float64, gap int) float64 {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.BusHz = hz
+	m := mustNew(t, cfg)
+	addr := uint64(0)
+	var total, count int64
+	for i := 0; i < 20000; i++ {
+		if i%gap == 0 {
+			for c := 0; c < 4; c++ {
+				m.Enqueue(Request{Addr: addr})
+				addr += 64
+			}
+		}
+		for _, d := range m.Tick(1) {
+			total += d.Latency
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("no completions")
+	}
+	return float64(total) / float64(count)
+}
+
+func avgLatencyNsAt(t *testing.T, hz float64, gap int) float64 {
+	return avgLatencyAt(t, hz, gap) / hz * 1e9
+}
+
+func TestSetFrequencyDrainsAndRetimes(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	for i := 0; i < 32; i++ {
+		m.Enqueue(Request{Addr: uint64(i * 64)})
+	}
+	pen, err := m.SetFrequency(400e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 512 cycles + 28 ns at 400 MHz (12 cycles).
+	if pen < 512+11 || pen > 512+13 {
+		t.Errorf("penalty = %d cycles", pen)
+	}
+	if !m.Idle() {
+		t.Error("memory not idle after SetFrequency")
+	}
+	if m.BusHz() != 400e6 {
+		t.Errorf("BusHz = %g", m.BusHz())
+	}
+	// Still serves requests after the change.
+	m.Enqueue(Request{Addr: 0})
+	if done := m.Tick(200); len(done) != 1 {
+		t.Error("request lost after frequency change")
+	}
+	if _, err := m.SetFrequency(0); err == nil {
+		t.Error("zero frequency accepted")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	// Idle energy over 10 µs.
+	m.Tick(8000)
+	idleJ, secs := m.Energy()
+	if idleJ <= 0 || secs <= 0 {
+		t.Fatalf("idle energy %g over %g s", idleJ, secs)
+	}
+	idleW := idleJ / secs
+
+	// Busy energy must be higher per unit time.
+	m2 := mustNew(t, DefaultConfig())
+	addr := uint64(0)
+	for i := 0; i < 8000; i++ {
+		if i%4 == 0 {
+			m2.Enqueue(Request{Addr: addr})
+			addr += 64
+		}
+		m2.Tick(1)
+	}
+	busyJ, busySecs := m2.Energy()
+	busyW := busyJ / busySecs
+	if busyW <= idleW {
+		t.Errorf("busy power %.2f W <= idle power %.2f W", busyW, idleW)
+	}
+	// Order-of-magnitude check: 8 ECC ranks... 16 ranks total; idle
+	// (mostly powered down) should be a few watts, busy tens of watts.
+	if idleW < 1 || idleW > 40 {
+		t.Errorf("idle power %.2f W implausible", idleW)
+	}
+	if busyW > 150 {
+		t.Errorf("busy power %.2f W implausible", busyW)
+	}
+}
+
+func TestDrainEmpty(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	done, cycles, err := m.Drain()
+	if err != nil || len(done) != 0 || cycles != 0 {
+		t.Errorf("Drain on idle = %v, %d, %v", done, cycles, err)
+	}
+}
+
+func TestStatsOccupancyIntegrals(t *testing.T) {
+	m := mustNew(t, DefaultConfig())
+	for i := 0; i < 16; i++ {
+		m.Enqueue(Request{Addr: uint64(i * 64)})
+	}
+	m.Tick(100)
+	s := m.Stats()
+	if s.QueueOcc == 0 || s.BankOcc == 0 || s.BusBusy == 0 {
+		t.Errorf("occupancy integrals empty: %+v", s)
+	}
+	if s.AvgReadLatency() <= 0 {
+		t.Error("AvgReadLatency not positive")
+	}
+	if u := s.BusUtilization(4); u <= 0 || u > 1 {
+		t.Errorf("BusUtilization = %g", u)
+	}
+}

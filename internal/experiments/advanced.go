@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coscale/internal/cache"
+	"coscale/internal/freq"
+	"coscale/internal/memsys"
+	"coscale/internal/sim"
+	"coscale/internal/trace"
+	"coscale/internal/workload"
+)
+
+// Fig16Row is one workload class of Figure 16: full-system energy per
+// instruction, normalized to the no-prefetch no-DVFS baseline.
+type Fig16Row struct {
+	Class        trace.Class
+	Base         float64 // always 1.0
+	BasePref     float64
+	BaseCoScale  float64
+	BothCombined float64 // Base+Pref+CoScale
+}
+
+// Figure16 regenerates the prefetching study: energy per instruction of
+// Base, Base+Pref, Base+CoScale and Base+Pref+CoScale per workload class.
+func (r *Runner) Figure16() ([]Fig16Row, error) {
+	classes := []trace.Class{trace.MEM, trace.MID, trace.ILP, trace.MIX}
+	rows := make([]Fig16Row, len(classes))
+
+	type variant struct {
+		pol  PolicyName
+		pref bool
+		key  string
+	}
+	variants := []variant{
+		{Baseline, false, "default"},
+		{Baseline, true, "pref"},
+		{CoScaleName, false, "default"},
+		{CoScaleName, true, "pref"},
+	}
+
+	// Pre-warm in parallel across all (class-mix, variant) cells.
+	var cells []func() error
+	for _, cl := range classes {
+		for _, m := range classMixNames(cl) {
+			for _, v := range variants {
+				m, v := m, v
+				cells = append(cells, func() error {
+					_, err := r.Execute(m, v.pol, func(c *sim.Config) { c.Prefetch = v.pref }, v.key)
+					return err
+				})
+			}
+		}
+	}
+	if err := r.forEach(len(cells), func(i int) error { return cells[i]() }); err != nil {
+		return nil, err
+	}
+
+	for ci, cl := range classes {
+		row := Fig16Row{Class: cl, Base: 1}
+		var epi [4]float64 // base, base+pref, base+coscale, both
+		for _, m := range classMixNames(cl) {
+			for vi, v := range variants {
+				o, err := r.Execute(m, v.pol, func(c *sim.Config) { c.Prefetch = v.pref }, v.key)
+				if err != nil {
+					return nil, err
+				}
+				epi[vi] += o.Run.EnergyPerInstruction() / 4
+			}
+		}
+		row.BasePref = epi[1] / epi[0]
+		row.BaseCoScale = epi[2] / epi[0]
+		row.BothCombined = epi[3] / epi[0]
+		rows[ci] = row
+	}
+	return rows, nil
+}
+
+// Fig17Row is one class of Figures 17 and 18: average CPI and energy per
+// instruction for In-order, OoO, In-order+CoScale and OoO+CoScale,
+// normalized to the in-order baseline.
+type Fig17Row struct {
+	Class trace.Class
+	// Normalized CPI (Figure 17).
+	CPIInOrder, CPIOoO, CPIInOrderCoScale, CPIOoOCoScale float64
+	// Normalized energy per instruction (Figure 18).
+	EPIInOrder, EPIOoO, EPIInOrderCoScale, EPIOoOCoScale float64
+}
+
+// Figure17And18 regenerates the out-of-order study. The OoO configuration
+// emulates a 128-instruction window by giving each application its profiled
+// memory-level parallelism.
+func (r *Runner) Figure17And18() ([]Fig17Row, error) {
+	classes := []trace.Class{trace.MEM, trace.MID, trace.ILP, trace.MIX}
+	rows := make([]Fig17Row, len(classes))
+
+	type variant struct {
+		pol PolicyName
+		ooo bool
+		key string
+	}
+	variants := []variant{
+		{Baseline, false, "default"},
+		{Baseline, true, "ooo"},
+		{CoScaleName, false, "default"},
+		{CoScaleName, true, "ooo"},
+	}
+	var cells []func() error
+	for _, cl := range classes {
+		for _, m := range classMixNames(cl) {
+			for _, v := range variants {
+				m, v := m, v
+				cells = append(cells, func() error {
+					_, err := r.Execute(m, v.pol, func(c *sim.Config) { c.OoO = v.ooo }, v.key)
+					return err
+				})
+			}
+		}
+	}
+	if err := r.forEach(len(cells), func(i int) error { return cells[i]() }); err != nil {
+		return nil, err
+	}
+
+	for ci, cl := range classes {
+		var timePer [4]float64 // proxy for CPI: wall time per instruction
+		var epi [4]float64
+		for _, m := range classMixNames(cl) {
+			for vi, v := range variants {
+				o, err := r.Execute(m, v.pol, func(c *sim.Config) { c.OoO = v.ooo }, v.key)
+				if err != nil {
+					return nil, err
+				}
+				timePer[vi] += o.Run.WallTime / float64(o.Run.TotalInstructions) / 4
+				epi[vi] += o.Run.EnergyPerInstruction() / 4
+			}
+		}
+		rows[ci] = Fig17Row{
+			Class:             cl,
+			CPIInOrder:        1,
+			CPIOoO:            timePer[1] / timePer[0],
+			CPIInOrderCoScale: timePer[2] / timePer[0],
+			CPIOoOCoScale:     timePer[3] / timePer[0],
+			EPIInOrder:        1,
+			EPIOoO:            epi[1] / epi[0],
+			EPIInOrderCoScale: epi[2] / epi[0],
+			EPIOoOCoScale:     epi[3] / epi[0],
+		}
+	}
+	return rows, nil
+}
+
+// Table1Row is one mix of Table 1: measured vs published MPKI/WPKI.
+type Table1Row struct {
+	Mix                  string
+	MPKI, WPKI           float64 // measured under the contention model
+	PaperMPKI, PaperWPKI float64
+	Apps                 []string
+}
+
+// Table1 regenerates the workload characteristics.
+func (r *Runner) Table1() ([]Table1Row, error) {
+	llc := cache.NewShareModel(cache.DefaultSizeMB)
+	names := workload.Names()
+	rows := make([]Table1Row, len(names))
+	for i, n := range names {
+		m := workload.MustGet(n)
+		ch, err := m.Characterize(llc)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = Table1Row{Mix: n, MPKI: ch.MPKI, WPKI: ch.WPKI,
+			PaperMPKI: m.PaperMPKI, PaperWPKI: m.PaperWPKI, Apps: m.Apps}
+	}
+	return rows, nil
+}
+
+// Table2 renders the main system settings actually configured in this
+// implementation, mirroring the paper's Table 2.
+func Table2() string {
+	mem := memsys.DefaultParams()
+	cl := freq.DefaultCoreLadder()
+	ml := freq.DefaultMemLadder()
+	s := "Table 2: main system settings\n"
+	s += fmt.Sprintf("  CPU cores           16 in-order, single thread, %.1f GHz max\n", cl.MaxHz()/freq.GHz)
+	s += fmt.Sprintf("  Core DVFS           %s, %.2f-%.2f V\n", cl, cl.Volts(cl.Steps()-1), cl.Volts(0))
+	s += fmt.Sprintf("  L2 cache (shared)   %d MB, %d-way, %d CPU-cycle hit, %d B blocks\n",
+		cache.DefaultSizeMB, cache.DefaultWays, cache.DefaultHitCycles, cache.DefaultBlockSize)
+	s += fmt.Sprintf("  Memory              %d DDR3 channels, %d banks/channel\n", mem.Channels, mem.BanksPerChannel)
+	s += fmt.Sprintf("  Memory DVFS         %s (MC at 2x bus)\n", ml)
+	s += fmt.Sprintf("  tRCD, tCL, tRP      %.0f ns, %.0f ns, %.0f ns\n", mem.TRCDNs, mem.TCLNs, mem.TRPNs)
+	s += fmt.Sprintf("  Transition costs    core %v; memory %d cycles + %v\n",
+		freq.DefaultCoreTransition, freq.MemTransitionCycles, freq.MemTransitionFixed)
+	return s
+}
+
+// FormatFig16 renders Figure 16.
+func FormatFig16(rows []Fig16Row) string {
+	s := "Figure 16: prefetching — normalized energy per instruction\n"
+	s += fmt.Sprintf("%-5s %8s %10s %12s %16s\n", "class", "Base", "Base+Pref", "Base+CoScale", "Base+Pref+CoScale")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-5s %8.2f %10.2f %12.2f %16.2f\n", r.Class, r.Base, r.BasePref, r.BaseCoScale, r.BothCombined)
+	}
+	return s
+}
+
+// FormatFig17And18 renders Figures 17 and 18.
+func FormatFig17And18(rows []Fig17Row) string {
+	s := "Figure 17: in-order vs OoO — normalized average CPI\n"
+	s += fmt.Sprintf("%-5s %9s %8s %12s %12s\n", "class", "In-order", "OoO", "InOrd+CoSc", "OoO+CoSc")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-5s %9.2f %8.2f %12.2f %12.2f\n", r.Class, r.CPIInOrder, r.CPIOoO, r.CPIInOrderCoScale, r.CPIOoOCoScale)
+	}
+	s += "Figure 18: in-order vs OoO — normalized energy per instruction\n"
+	s += fmt.Sprintf("%-5s %9s %8s %12s %12s\n", "class", "In-order", "OoO", "InOrd+CoSc", "OoO+CoSc")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-5s %9.2f %8.2f %12.2f %12.2f\n", r.Class, r.EPIInOrder, r.EPIOoO, r.EPIInOrderCoScale, r.EPIOoOCoScale)
+	}
+	return s
+}
+
+// FormatTable1 renders Table 1 with paper values alongside.
+func FormatTable1(rows []Table1Row) string {
+	s := "Table 1: workload characteristics (measured vs paper)\n"
+	s += fmt.Sprintf("%-6s %10s %10s %10s %10s  %s\n", "mix", "MPKI", "paper", "WPKI", "paper", "applications (x4 each)")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-6s %10.2f %10.2f %10.2f %10.2f  %v\n", r.Mix, r.MPKI, r.PaperMPKI, r.WPKI, r.PaperWPKI, r.Apps)
+	}
+	return s
+}

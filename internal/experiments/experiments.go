@@ -1,0 +1,216 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each experiment has a function returning structured rows
+// (so benchmarks and CLIs can assert on or print them) and knows the paper's
+// published numbers for the EXPERIMENTS.md paper-vs-measured record.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"coscale/internal/core"
+	"coscale/internal/policy"
+	"coscale/internal/sim"
+	"coscale/internal/workload"
+)
+
+// PolicyName selects one of the §3.2 controllers.
+type PolicyName string
+
+// The six policies of the evaluation.
+const (
+	Baseline        PolicyName = "Baseline"
+	MemScaleName    PolicyName = "MemScale"
+	CPUOnlyName     PolicyName = "CPUOnly"
+	UncoordName     PolicyName = "Uncoordinated"
+	SemiName        PolicyName = "Semi-coordinated"
+	CoScaleName     PolicyName = "CoScale"
+	OfflineName     PolicyName = "Offline"
+	SemiOoPName     PolicyName = "Semi-coordinated-OoP"
+	NoGroupingName  PolicyName = "CoScale-NoGrouping"
+	NoMarginalCache PolicyName = "CoScale-NoCache"
+)
+
+// PracticalPolicies is the Figure 8/9 comparison set in presentation order.
+var PracticalPolicies = []PolicyName{MemScaleName, CPUOnlyName, UncoordName, SemiName, CoScaleName, OfflineName}
+
+// NewPolicy instantiates a controller by name (nil for Baseline).
+func NewPolicy(name PolicyName, cfg policy.Config) policy.Policy {
+	switch name {
+	case Baseline:
+		return nil
+	case MemScaleName:
+		return policy.NewMemScale(cfg)
+	case CPUOnlyName:
+		return policy.NewCPUOnly(cfg)
+	case UncoordName:
+		return policy.NewUncoordinated(cfg)
+	case SemiName:
+		return policy.NewSemiCoordinated(cfg)
+	case SemiOoPName:
+		p := policy.NewSemiCoordinated(cfg)
+		p.OutOfPhase = true
+		return p
+	case CoScaleName:
+		return core.New(cfg)
+	case OfflineName:
+		return policy.NewOffline(cfg)
+	case NoGroupingName:
+		return core.NewWithOptions(cfg, core.Options{DisableGrouping: true})
+	case NoMarginalCache:
+		return core.NewWithOptions(cfg, core.Options{DisableMarginalCache: true})
+	}
+	panic(fmt.Sprintf("experiments: unknown policy %q", name))
+}
+
+// Runner executes experiments. The zero value uses the paper's full settings;
+// reduce InstrBudget for fast test/bench runs.
+type Runner struct {
+	// InstrBudget overrides the per-application instruction budget
+	// (default 100M, the paper's SimPoint length).
+	InstrBudget uint64
+	// Parallel bounds concurrent simulation runs (default NumCPU).
+	Parallel int
+
+	mu    sync.Mutex
+	cache map[string]*Outcome
+}
+
+// NewRunner returns a Runner with the given instruction budget (0 = paper
+// default).
+func NewRunner(budget uint64) *Runner {
+	return &Runner{InstrBudget: budget, cache: map[string]*Outcome{}}
+}
+
+// Outcome pairs a policy run with its matching baseline.
+type Outcome struct {
+	Base *sim.Result
+	Run  *sim.Result
+}
+
+// FullSavings returns 1 − E_policy/E_base for total system energy.
+func (o *Outcome) FullSavings() float64 {
+	return 1 - o.Run.Energy.Total()/o.Base.Energy.Total()
+}
+
+// MemSavings returns memory-subsystem energy savings.
+func (o *Outcome) MemSavings() float64 { return 1 - o.Run.Energy.Mem/o.Base.Energy.Mem }
+
+// CPUSavings returns CPU (cores + L2) energy savings.
+func (o *Outcome) CPUSavings() float64 {
+	return 1 - (o.Run.Energy.CPU+o.Run.Energy.L2)/(o.Base.Energy.CPU+o.Base.Energy.L2)
+}
+
+// Degradations returns per-program slowdowns of the policy run versus the
+// baseline run.
+func (o *Outcome) Degradations() []float64 {
+	out := make([]float64, len(o.Run.Apps))
+	for i := range out {
+		out[i] = o.Run.Apps[i].FinishTime/o.Base.Apps[i].FinishTime - 1
+	}
+	return out
+}
+
+// AvgDegradation returns the multiprogram-average slowdown.
+func (o *Outcome) AvgDegradation() float64 {
+	d := o.Degradations()
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	return sum / float64(len(d))
+}
+
+// WorstDegradation returns the worst-program slowdown.
+func (o *Outcome) WorstDegradation() float64 {
+	worst := 0.0
+	for _, v := range o.Degradations() {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// Execute runs (and caches) a policy against its baseline under cfg. The
+// mix, policy and every cfg field that alters behaviour participate in the
+// cache key via keyExtra.
+func (r *Runner) Execute(mixName string, pol PolicyName, mutate func(*sim.Config), keyExtra string) (*Outcome, error) {
+	key := mixName + "/" + string(pol) + "/" + keyExtra
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = map[string]*Outcome{}
+	}
+	if o, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return o, nil
+	}
+	r.mu.Unlock()
+
+	mkCfg := func() sim.Config {
+		cfg := sim.Config{Mix: workload.MustGet(mixName), InstrBudget: r.InstrBudget}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return cfg
+	}
+	runOne := func(p PolicyName) (*sim.Result, error) {
+		cfg := mkCfg()
+		cfg.Policy = NewPolicy(p, cfg.PolicyConfig())
+		eng, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return eng.Run()
+	}
+
+	base, err := runOne(Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: baseline %s: %w", mixName, err)
+	}
+	run := base
+	if pol != Baseline {
+		run, err = runOne(pol)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", pol, mixName, err)
+		}
+	}
+	o := &Outcome{Base: base, Run: run}
+	r.mu.Lock()
+	r.cache[key] = o
+	r.mu.Unlock()
+	return o, nil
+}
+
+// forEach runs fn for every item with bounded parallelism, collecting the
+// first error.
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	par := r.Parallel
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > n {
+		par = n
+	}
+	sem := make(chan struct{}, par)
+	errc := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errc <- fn(i)
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

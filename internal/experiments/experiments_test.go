@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"testing"
+
+	"coscale/internal/trace"
+)
+
+// testBudget keeps experiment tests fast while leaving enough epochs for
+// controller dynamics to matter.
+const testBudget = 50_000_000
+
+func TestFigure5ShapesHold(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("Figure5 returned %d rows", len(rows))
+	}
+	var classFull = map[string]float64{}
+	for _, row := range rows {
+		t.Logf("%-5s full %5.1f%% mem %6.1f%% cpu %5.1f%%", row.Mix, row.Full*100, row.Memory*100, row.CPU*100)
+		if row.Full < 0.05 {
+			t.Errorf("%s: full-system savings %.1f%% too low", row.Mix, row.Full*100)
+		}
+		classFull[row.Mix[:3]] += row.Full / 4
+	}
+	// Paper shape: ILP achieves the highest memory savings and at least
+	// as much full-system savings as the other classes.
+	if classFull["ILP"] < classFull["MEM"] || classFull["ILP"] < classFull["MID"] {
+		t.Errorf("ILP class savings %.3f should lead (MEM %.3f, MID %.3f)",
+			classFull["ILP"], classFull["MEM"], classFull["MID"])
+	}
+	for _, row := range rows {
+		if row.Mix[:3] == "ILP" && row.Memory < 0.30 {
+			t.Errorf("%s: ILP memory savings %.1f%% should be large", row.Mix, row.Memory*100)
+		}
+		if row.Mix[:3] == "MEM" && row.Memory > 0.10 {
+			t.Errorf("%s: MEM memory savings %.1f%% should be near zero", row.Mix, row.Memory*100)
+		}
+	}
+}
+
+func TestFigure6NeverViolates(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Worst > 0.10 {
+			t.Errorf("%s: worst degradation %.2f%% exceeds the 10%% bound", row.Mix, row.Worst*100)
+		}
+		if row.Avg < 0.05 {
+			t.Errorf("%s: average degradation %.2f%% — CoScale is leaving slack unused", row.Mix, row.Avg*100)
+		}
+	}
+}
+
+func TestFigure7Timelines(t *testing.T) {
+	r := NewRunner(testBudget)
+	series, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := series[CoScaleName]
+	if len(co) < 4 {
+		t.Fatalf("CoScale timeline too short: %d epochs", len(co))
+	}
+	// milc's late memory-bound phase: CoScale should raise memory
+	// frequency in the last third relative to the first third, while
+	// lowering milc's core frequency.
+	third := len(co) / 3
+	avg := func(pts []TimelinePoint, f func(TimelinePoint) float64) float64 {
+		s := 0.0
+		for _, p := range pts {
+			s += f(p)
+		}
+		return s / float64(len(pts))
+	}
+	earlyMem := avg(co[:third], func(p TimelinePoint) float64 { return p.MemGHz })
+	lateMem := avg(co[len(co)-third:], func(p TimelinePoint) float64 { return p.MemGHz })
+	if lateMem <= earlyMem {
+		t.Errorf("CoScale should raise memory frequency for milc's late phase: early %.3f late %.3f", earlyMem, lateMem)
+	}
+
+	// Semi-coordinated should oscillate more than CoScale: count memory
+	// frequency direction changes.
+	flips := func(pts []TimelinePoint) int {
+		n, dir := 0, 0
+		for i := 1; i < len(pts); i++ {
+			d := 0
+			if pts[i].MemGHz > pts[i-1].MemGHz {
+				d = 1
+			} else if pts[i].MemGHz < pts[i-1].MemGHz {
+				d = -1
+			}
+			if d != 0 && dir != 0 && d != dir {
+				n++
+			}
+			if d != 0 {
+				dir = d
+			}
+		}
+		return n
+	}
+	t.Logf("mem-frequency direction flips: CoScale %d, Semi %d, Uncoord %d",
+		flips(co), flips(series[SemiName]), flips(series[UncoordName]))
+	if flips(series[SemiName]) < flips(co) {
+		t.Errorf("Semi-coordinated (%d flips) should oscillate at least as much as CoScale (%d)",
+			flips(series[SemiName]), flips(co))
+	}
+}
+
+func TestFigure8And9PolicyOrdering(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.Figure8And9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[PolicyName]Fig8Row{}
+	for _, row := range rows {
+		byName[row.Policy] = row
+		t.Logf("%-18s full %5.1f%% mem %6.1f%% cpu %5.1f%% avg-deg %5.2f%% worst %5.2f%%",
+			row.Policy, row.Full*100, row.Memory*100, row.CPU*100, row.AvgDeg*100, row.WorstDeg*100)
+	}
+	co := byName[CoScaleName]
+	// CoScale beats both single-knob policies and Semi-coordinated on
+	// full-system energy.
+	for _, other := range []PolicyName{MemScaleName, CPUOnlyName, SemiName} {
+		if co.Full <= byName[other].Full {
+			t.Errorf("CoScale (%.3f) should beat %s (%.3f)", co.Full, other, byName[other].Full)
+		}
+	}
+	// Offline is the upper bound; CoScale comes close (within 3 points).
+	if co.Full < byName[OfflineName].Full-0.03 {
+		t.Errorf("CoScale (%.3f) too far below Offline (%.3f)", co.Full, byName[OfflineName].Full)
+	}
+	// Uncoordinated violates the bound; every coordinated policy holds it.
+	if byName[UncoordName].WorstDeg <= 0.10 {
+		t.Errorf("Uncoordinated worst degradation %.2f%% should exceed the bound", byName[UncoordName].WorstDeg*100)
+	}
+	for _, p := range []PolicyName{MemScaleName, CPUOnlyName, SemiName, CoScaleName, OfflineName} {
+		if byName[p].WorstDeg > 0.103 {
+			t.Errorf("%s violated the bound: %.2f%%", p, byName[p].WorstDeg*100)
+		}
+	}
+}
+
+func TestFigure10BoundSensitivity(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Savings must increase with the bound, and the bound must hold at
+	// every setting.
+	bounds := map[string]float64{"1%": 0.01, "5%": 0.05, "10%": 0.10, "15%": 0.15, "20%": 0.20}
+	avg := map[string]float64{}
+	for _, row := range rows {
+		avg[row.Variant] += row.Full / 4
+		if row.WorstDeg > bounds[row.Variant] {
+			t.Errorf("%s @%s: degradation %.2f%% exceeds bound", row.Mix, row.Variant, row.WorstDeg*100)
+		}
+	}
+	t.Logf("avg savings by bound: 1%%=%.3f 5%%=%.3f 10%%=%.3f 15%%=%.3f 20%%=%.3f",
+		avg["1%"], avg["5%"], avg["10%"], avg["15%"], avg["20%"])
+	if !(avg["1%"] < avg["5%"] && avg["5%"] < avg["10%"] && avg["10%"] <= avg["15%"] && avg["15%"] <= avg["20%"]+0.005) {
+		t.Errorf("savings not increasing with bound: %v", avg)
+	}
+	if avg["1%"] <= 0 {
+		t.Errorf("even a 1%% bound should save energy (got %.3f)", avg["1%"])
+	}
+}
+
+func TestFigure12And13RatioTrends(t *testing.T) {
+	r := NewRunner(testBudget)
+	mid, err := r.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := r.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgBy := func(rows []SensitivityRow) map[string]float64 {
+		m := map[string]float64{}
+		for _, row := range rows {
+			m[row.Variant] += row.Full / 4
+		}
+		return m
+	}
+	midAvg, memAvg := avgBy(mid), avgBy(mem)
+	t.Logf("MID: 2:1=%.3f 1:1=%.3f 1:2=%.3f", midAvg["2:1"], midAvg["1:1"], midAvg["1:2"])
+	t.Logf("MEM: 2:1=%.3f 1:1=%.3f 1:2=%.3f", memAvg["2:1"], memAvg["1:1"], memAvg["1:2"])
+	// Paper: MID savings increase as memory power share grows; MEM
+	// savings decrease (the CPU knob is where MEM savings come from).
+	if !(midAvg["1:2"] > midAvg["2:1"]) {
+		t.Errorf("MID savings should increase with memory power share: %v", midAvg)
+	}
+	if !(memAvg["1:2"] < memAvg["2:1"]) {
+		t.Errorf("MEM savings should decrease with memory power share: %v", memAvg)
+	}
+}
+
+func TestFigure14VoltageRange(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := map[string]float64{}
+	for _, row := range rows {
+		avg[row.Variant] += row.Full / 4
+		if row.WorstDeg > 0.10 {
+			t.Errorf("%s @%s voltage: bound violated (%.2f%%)", row.Mix, row.Variant, row.WorstDeg*100)
+		}
+	}
+	t.Logf("full range %.3f, half range %.3f", avg["full"], avg["half"])
+	if avg["half"] >= avg["full"] {
+		t.Errorf("half voltage range (%.3f) should save less than full (%.3f)", avg["half"], avg["full"])
+	}
+	if avg["half"] < 0.05 {
+		t.Errorf("half range should still save meaningful energy (got %.3f)", avg["half"])
+	}
+}
+
+func TestFigure15FrequencyGranularity(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.Figure15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := map[string]float64{}
+	for _, row := range rows {
+		avg[row.Variant] += row.Full / 4
+		if row.WorstDeg > 0.10 {
+			t.Errorf("%s @%s freqs: bound violated (%.2f%%)", row.Mix, row.Variant, row.WorstDeg*100)
+		}
+	}
+	t.Logf("4 freqs %.3f, 7 freqs %.3f, 10 freqs %.3f", avg["4"], avg["7"], avg["10"])
+	// Coarser ladders save somewhat less, but CoScale adapts (the drop
+	// should be modest).
+	if avg["4"] > avg["10"]+0.005 {
+		t.Errorf("4 frequencies (%.3f) should not beat 10 (%.3f)", avg["4"], avg["10"])
+	}
+	if avg["4"] < avg["10"]-0.08 {
+		t.Errorf("savings collapse with 4 frequencies: %.3f vs %.3f", avg["4"], avg["10"])
+	}
+}
+
+func TestFigure16Prefetching(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		t.Logf("%-4v base %.2f pref %.2f coscale %.2f both %.2f",
+			row.Class, row.Base, row.BasePref, row.BaseCoScale, row.BothCombined)
+		// CoScale always reduces energy per instruction.
+		if row.BaseCoScale >= 1 {
+			t.Errorf("%v: Base+CoScale EPI %.2f should be < 1", row.Class, row.BaseCoScale)
+		}
+		if row.BothCombined >= row.BasePref {
+			t.Errorf("%v: adding CoScale to prefetching should reduce EPI (%.2f vs %.2f)",
+				row.Class, row.BothCombined, row.BasePref)
+		}
+	}
+	// Paper: prefetching alone helps MEM the most (EPI below 1).
+	if rows[0].Class != trace.MEM {
+		t.Fatal("row order changed")
+	}
+	if rows[0].BasePref >= 1.0 {
+		t.Errorf("MEM: prefetching should reduce EPI (got %.2f)", rows[0].BasePref)
+	}
+}
+
+func TestFigure17And18OutOfOrder(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.Figure17And18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := map[trace.Class]Fig17Row{}
+	for _, row := range rows {
+		byClass[row.Class] = row
+		t.Logf("%-4v CPI: ooo %.2f in+co %.2f ooo+co %.2f | EPI: ooo %.2f in+co %.2f ooo+co %.2f",
+			row.Class, row.CPIOoO, row.CPIInOrderCoScale, row.CPIOoOCoScale,
+			row.EPIOoO, row.EPIInOrderCoScale, row.EPIOoOCoScale)
+	}
+	// Paper: OoO drastically improves MEM CPI; ILP gains almost nothing.
+	if byClass[trace.MEM].CPIOoO > 0.75 {
+		t.Errorf("MEM OoO CPI %.2f should drop substantially below 1", byClass[trace.MEM].CPIOoO)
+	}
+	if byClass[trace.ILP].CPIOoO < 0.93 {
+		t.Errorf("ILP OoO CPI %.2f should be near 1", byClass[trace.ILP].CPIOoO)
+	}
+	// OoO+CoScale stays within 10% of OoO.
+	for cl, row := range byClass {
+		if row.CPIOoOCoScale > row.CPIOoO*1.10*1.01 {
+			t.Errorf("%v: OoO+CoScale CPI %.3f violates bound vs OoO %.3f", cl, row.CPIOoOCoScale, row.CPIOoO)
+		}
+		// OoO never hurts energy (no OoO power overhead is modelled).
+		if row.EPIOoO > 1.02 {
+			t.Errorf("%v: OoO EPI %.2f should not exceed in-order", cl, row.EPIOoO)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("Table1 returned %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.MPKI <= 0 || len(row.Apps) != 4 {
+			t.Errorf("degenerate row %+v", row)
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	s := Table2()
+	for _, want := range []string{"DDR3", "16 in-order", "tRCD", "Transition"} {
+		if !contains(s, want) {
+			t.Errorf("Table2 output missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestNewPolicyUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown policy did not panic")
+		}
+	}()
+	r := NewRunner(testBudget)
+	_, _ = r.Execute("MID1", PolicyName("Nope"), nil, "x")
+}
+
+func TestAblations(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[PolicyName]AblationRow{}
+	for _, row := range rows {
+		byName[row.Variant] = row
+		t.Logf("%-20s full %5.1f%% worst %5.2f%%", row.Variant, row.Full*100, row.WorstDeg*100)
+	}
+	// Grouping should not hurt; removing it must not help.
+	if byName[NoGroupingName].Full > byName[CoScaleName].Full+0.01 {
+		t.Errorf("removing grouping improved savings: %.3f vs %.3f",
+			byName[NoGroupingName].Full, byName[CoScaleName].Full)
+	}
+	// The out-of-phase Semi variant should not beat CoScale (§4.2.2:
+	// "does not improve results").
+	if byName[SemiOoPName].Full > byName[CoScaleName].Full+0.005 {
+		t.Errorf("out-of-phase Semi (%.3f) should not beat CoScale (%.3f)",
+			byName[SemiOoPName].Full, byName[CoScaleName].Full)
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coscale/internal/sim"
+	"coscale/internal/workload"
+)
+
+// Fig5Row is one bar group of Figure 5: CoScale energy savings per mix at
+// the 10% bound.
+type Fig5Row struct {
+	Mix    string
+	Full   float64 // full-system energy savings
+	Memory float64
+	CPU    float64
+	Epochs int
+}
+
+// Figure5 regenerates "CoScale energy savings" across all 16 mixes.
+func (r *Runner) Figure5() ([]Fig5Row, error) {
+	names := workload.Names()
+	rows := make([]Fig5Row, len(names))
+	err := r.forEach(len(names), func(i int) error {
+		o, err := r.Execute(names[i], CoScaleName, nil, "default")
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig5Row{
+			Mix:    names[i],
+			Full:   o.FullSavings(),
+			Memory: o.MemSavings(),
+			CPU:    o.CPUSavings(),
+			Epochs: o.Run.Epochs,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// Fig6Row is one bar group of Figure 6: CoScale performance degradation.
+type Fig6Row struct {
+	Mix   string
+	Avg   float64 // multiprogram average degradation
+	Worst float64 // worst program in mix
+}
+
+// Figure6 regenerates "CoScale performance" across all 16 mixes.
+func (r *Runner) Figure6() ([]Fig6Row, error) {
+	names := workload.Names()
+	rows := make([]Fig6Row, len(names))
+	err := r.forEach(len(names), func(i int) error {
+		o, err := r.Execute(names[i], CoScaleName, nil, "default")
+		if err != nil {
+			return err
+		}
+		rows[i] = Fig6Row{Mix: names[i], Avg: o.AvgDegradation(), Worst: o.WorstDegradation()}
+		return nil
+	})
+	return rows, err
+}
+
+// TimelinePoint is one epoch of the Figure 7 milc/MIX2 timeline.
+type TimelinePoint struct {
+	Epoch  int
+	MemGHz float64
+	// CoreGHz is the frequency of milc's first copy (core 0 of MIX2).
+	CoreGHz float64
+}
+
+// Figure7 regenerates the dynamic-behaviour timelines of milc in MIX2 under
+// CoScale, Uncoordinated and Semi-coordinated.
+func (r *Runner) Figure7() (map[PolicyName][]TimelinePoint, error) {
+	out := map[PolicyName][]TimelinePoint{}
+	policies := []PolicyName{CoScaleName, UncoordName, SemiName}
+	series := make([][]TimelinePoint, len(policies))
+	err := r.forEach(len(policies), func(i int) error {
+		o, err := r.Execute("MIX2", policies[i], func(c *sim.Config) { c.RecordTimeline = true }, "timeline")
+		if err != nil {
+			return err
+		}
+		pts := make([]TimelinePoint, len(o.Run.Timeline))
+		for k, rec := range o.Run.Timeline {
+			pts[k] = TimelinePoint{Epoch: rec.Index + 1, MemGHz: rec.MemHz / 1e9, CoreGHz: rec.CoreHz[0] / 1e9}
+		}
+		series[i] = pts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range policies {
+		out[p] = series[i]
+	}
+	return out, nil
+}
+
+// Fig8Row is one policy's averages across all 16 mixes (Figures 8 and 9
+// share the runs: energy savings and performance degradation).
+type Fig8Row struct {
+	Policy   PolicyName
+	Full     float64 // average full-system energy savings
+	Memory   float64
+	CPU      float64
+	AvgDeg   float64 // average of per-mix multiprogram-average degradation
+	WorstDeg float64 // worst program across all mixes
+}
+
+// Figure8And9 regenerates the policy comparison: average energy savings
+// (Fig. 8) and performance degradation (Fig. 9) for the five practical
+// policies plus Offline.
+func (r *Runner) Figure8And9() ([]Fig8Row, error) {
+	names := workload.Names()
+	type cell struct{ o *Outcome }
+	grid := make([][]cell, len(PracticalPolicies))
+	for i := range grid {
+		grid[i] = make([]cell, len(names))
+	}
+	err := r.forEach(len(PracticalPolicies)*len(names), func(k int) error {
+		pi, mi := k/len(names), k%len(names)
+		o, err := r.Execute(names[mi], PracticalPolicies[pi], nil, "default")
+		if err != nil {
+			return err
+		}
+		grid[pi][mi] = cell{o}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig8Row, len(PracticalPolicies))
+	for pi, pol := range PracticalPolicies {
+		row := Fig8Row{Policy: pol}
+		for mi := range names {
+			o := grid[pi][mi].o
+			row.Full += o.FullSavings() / float64(len(names))
+			row.Memory += o.MemSavings() / float64(len(names))
+			row.CPU += o.CPUSavings() / float64(len(names))
+			row.AvgDeg += o.AvgDegradation() / float64(len(names))
+			if w := o.WorstDegradation(); w > row.WorstDeg {
+				row.WorstDeg = w
+			}
+		}
+		rows[pi] = row
+	}
+	return rows, nil
+}
+
+// FormatFig5 renders Figure 5 rows as the paper's bar-chart series.
+func FormatFig5(rows []Fig5Row) string {
+	s := "Figure 5: CoScale energy savings (10% bound)\n"
+	s += fmt.Sprintf("%-6s %12s %12s %12s\n", "mix", "full-system", "memory", "CPU")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-6s %11.1f%% %11.1f%% %11.1f%%\n", r.Mix, r.Full*100, r.Memory*100, r.CPU*100)
+	}
+	return s
+}
+
+// FormatFig6 renders Figure 6 rows.
+func FormatFig6(rows []Fig6Row) string {
+	s := "Figure 6: CoScale performance degradation (bound 10%)\n"
+	s += fmt.Sprintf("%-6s %10s %10s\n", "mix", "average", "worst")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-6s %9.1f%% %9.1f%%\n", r.Mix, r.Avg*100, r.Worst*100)
+	}
+	return s
+}
+
+// FormatFig8And9 renders the policy comparison.
+func FormatFig8And9(rows []Fig8Row) string {
+	s := "Figures 8+9: policy comparison (averages over 16 mixes)\n"
+	s += fmt.Sprintf("%-18s %8s %8s %8s %8s %8s\n", "policy", "full", "memory", "CPU", "avg-deg", "worst")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-18s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+			r.Policy, r.Full*100, r.Memory*100, r.CPU*100, r.AvgDeg*100, r.WorstDeg*100)
+	}
+	return s
+}
+
+// FormatFig7 renders the milc timeline series.
+func FormatFig7(series map[PolicyName][]TimelinePoint) string {
+	s := "Figure 7: milc in MIX2 — frequency timeline\n"
+	for _, pol := range []PolicyName{CoScaleName, UncoordName, SemiName} {
+		s += fmt.Sprintf("%s:\n  epoch: mem GHz / core GHz\n", pol)
+		for _, p := range series[pol] {
+			s += fmt.Sprintf("  %3d: %.3f / %.2f\n", p.Epoch, p.MemGHz, p.CoreGHz)
+		}
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"coscale/internal/trace"
+)
+
+func TestFormatters(t *testing.T) {
+	fig5 := FormatFig5([]Fig5Row{{Mix: "MEM1", Full: 0.141, Memory: -0.052, CPU: 0.366}})
+	for _, want := range []string{"MEM1", "14.1%", "-5.2%", "36.6%"} {
+		if !strings.Contains(fig5, want) {
+			t.Errorf("FormatFig5 missing %q:\n%s", want, fig5)
+		}
+	}
+
+	fig6 := FormatFig6([]Fig6Row{{Mix: "ILP2", Avg: 0.089, Worst: 0.092}})
+	if !strings.Contains(fig6, "ILP2") || !strings.Contains(fig6, "9.2%") {
+		t.Errorf("FormatFig6 output wrong:\n%s", fig6)
+	}
+
+	fig7 := FormatFig7(map[PolicyName][]TimelinePoint{
+		CoScaleName: {{Epoch: 1, MemGHz: 0.8, CoreGHz: 4.0}},
+		UncoordName: {},
+		SemiName:    {},
+	})
+	if !strings.Contains(fig7, "CoScale") || !strings.Contains(fig7, "0.800 / 4.00") {
+		t.Errorf("FormatFig7 output wrong:\n%s", fig7)
+	}
+
+	fig8 := FormatFig8And9([]Fig8Row{{Policy: UncoordName, Full: 0.145, WorstDeg: 0.166}})
+	if !strings.Contains(fig8, "Uncoordinated") || !strings.Contains(fig8, "16.6%") {
+		t.Errorf("FormatFig8And9 output wrong:\n%s", fig8)
+	}
+
+	sens := FormatSensitivity("title", []SensitivityRow{{Mix: "MID1", Variant: "5%", Full: 0.074, WorstDeg: 0.045}})
+	if !strings.Contains(sens, "title") || !strings.Contains(sens, "MID1") {
+		t.Errorf("FormatSensitivity output wrong:\n%s", sens)
+	}
+
+	fig16 := FormatFig16([]Fig16Row{{Class: trace.MEM, Base: 1, BasePref: 0.83, BaseCoScale: 0.87, BothCombined: 0.74}})
+	if !strings.Contains(fig16, "MEM") || !strings.Contains(fig16, "0.74") {
+		t.Errorf("FormatFig16 output wrong:\n%s", fig16)
+	}
+
+	fig17 := FormatFig17And18([]Fig17Row{{Class: trace.ILP, CPIInOrder: 1, CPIOoO: 0.99,
+		EPIInOrder: 1, EPIOoO: 1.0}})
+	if !strings.Contains(fig17, "Figure 17") || !strings.Contains(fig17, "Figure 18") {
+		t.Errorf("FormatFig17And18 output wrong:\n%s", fig17)
+	}
+
+	table1 := FormatTable1([]Table1Row{{Mix: "MIX1", MPKI: 2.98, PaperMPKI: 2.93,
+		WPKI: 2.60, PaperWPKI: 2.56, Apps: []string{"applu", "hmmer", "gap", "gzip"}}})
+	if !strings.Contains(table1, "MIX1") || !strings.Contains(table1, "applu") {
+		t.Errorf("FormatTable1 output wrong:\n%s", table1)
+	}
+}
+
+func TestProfilingWindowSweep(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.ProfilingWindowSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		t.Logf("window %v: savings %.1f%%, worst %.2f%%", row.Window, row.Full*100, row.WorstDeg*100)
+		if row.Full <= 0 {
+			t.Errorf("window %v saved nothing", row.Window)
+		}
+		if row.WorstDeg > 0.10 {
+			t.Errorf("window %v violated the bound: %.2f%%", row.Window, row.WorstDeg*100)
+		}
+	}
+	// The paper's 300 µs default should be within a point of the best.
+	best := rows[0].Full
+	for _, row := range rows {
+		if row.Full > best {
+			best = row.Full
+		}
+	}
+	if best-rows[1].Full > 0.01 {
+		t.Errorf("300 µs window %.3f more than a point below best %.3f", rows[1].Full, best)
+	}
+}
+
+func TestOutcomeAccessors(t *testing.T) {
+	r := NewRunner(testBudget)
+	o, err := r.Execute("ILP2", CoScaleName, nil, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Degradations()) != 16 {
+		t.Errorf("Degradations length %d", len(o.Degradations()))
+	}
+	if o.WorstDegradation() < o.AvgDegradation() {
+		t.Error("worst < average")
+	}
+	if o.FullSavings() <= 0 || o.CPUSavings() == 0 {
+		t.Errorf("savings accessors degenerate: %g %g", o.FullSavings(), o.CPUSavings())
+	}
+	// Baseline outcome: run == base, zero degradation and savings.
+	b, err := r.Execute("ILP2", Baseline, nil, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FullSavings() != 0 || b.WorstDegradation() != 0 {
+		t.Error("baseline vs itself should be zero savings/degradation")
+	}
+}
+
+func TestExecuteCaches(t *testing.T) {
+	r := NewRunner(testBudget)
+	a, err := r.Execute("ILP2", CoScaleName, nil, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Execute("ILP2", CoScaleName, nil, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical Execute calls did not hit the cache")
+	}
+	c, err := r.Execute("ILP2", CoScaleName, nil, "other-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different cache keys returned the same outcome")
+	}
+}

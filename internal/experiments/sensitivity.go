@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"coscale/internal/freq"
+	"coscale/internal/power"
+	"coscale/internal/sim"
+	"coscale/internal/trace"
+	"coscale/internal/workload"
+)
+
+// SensitivityRow is one (mix, variant) cell of a §4.2.4 sensitivity study.
+type SensitivityRow struct {
+	Mix      string
+	Variant  string
+	Full     float64 // full-system energy savings
+	WorstDeg float64
+}
+
+// classMixNames returns the four mixes of one class.
+func classMixNames(class trace.Class) []string {
+	ms := workload.ByClass(class)
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// sweep runs CoScale over the given mixes × variants. id namespaces the
+// run-cache keys so different sweeps with identical variant labels (e.g.
+// Figure 10's "5%" bound vs Figure 11's "5%" rest-power) never collide.
+func (r *Runner) sweep(id string, mixes []string, variants []string, mutate func(variant string, c *sim.Config)) ([]SensitivityRow, error) {
+	rows := make([]SensitivityRow, len(mixes)*len(variants))
+	err := r.forEach(len(rows), func(k int) error {
+		mi, vi := k/len(variants), k%len(variants)
+		v := variants[vi]
+		o, err := r.Execute(mixes[mi], CoScaleName,
+			func(c *sim.Config) { mutate(v, c) }, id+"="+v)
+		if err != nil {
+			return err
+		}
+		rows[k] = SensitivityRow{Mix: mixes[mi], Variant: v,
+			Full: o.FullSavings(), WorstDeg: o.WorstDegradation()}
+		return nil
+	})
+	return rows, err
+}
+
+// Figure10 varies the allowable performance bound (1, 5, 10, 15, 20%) on
+// the MID mixes.
+func (r *Runner) Figure10() ([]SensitivityRow, error) {
+	bounds := map[string]float64{"1%": 0.01, "5%": 0.05, "10%": 0.10, "15%": 0.15, "20%": 0.20}
+	return r.sweep("bound", classMixNames(trace.MID), []string{"1%", "5%", "10%", "15%", "20%"},
+		func(v string, c *sim.Config) { c.Gamma = bounds[v] })
+}
+
+// Figure11 varies the rest-of-system power share (5, 10, 15, 20%) on the
+// MID mixes.
+func (r *Runner) Figure11() ([]SensitivityRow, error) {
+	rest := map[string]float64{"5%": 0.05, "10%": 0.10, "15%": 0.15, "20%": 0.20}
+	return r.sweep("rest", classMixNames(trace.MID), []string{"5%", "10%", "15%", "20%"},
+		func(v string, c *sim.Config) {
+			f := rest[v]
+			// Hold the 2:1 CPU:Mem ratio, re-weight the rest share.
+			cpu := (1 - f) * 2 / 3
+			mem := (1 - f) / 3
+			c.Power = power.CalibratedSystem(c.Mix.Cores(), cpu, mem, f)
+		})
+}
+
+// powerRatio maps the Figure 12/13 CPU:Mem labels to calibration fractions
+// with the rest share fixed at 10%.
+func powerRatioSystem(v string, nCores int) power.System {
+	switch v {
+	case "2:1":
+		return power.CalibratedSystem(nCores, 0.60, 0.30, 0.10)
+	case "1:1":
+		return power.CalibratedSystem(nCores, 0.45, 0.45, 0.10)
+	case "1:2":
+		return power.CalibratedSystem(nCores, 0.30, 0.60, 0.10)
+	}
+	panic("experiments: unknown power ratio " + v)
+}
+
+// Figure12 varies the CPU:Mem power ratio on the MID mixes (savings should
+// increase as memory power grows).
+func (r *Runner) Figure12() ([]SensitivityRow, error) {
+	return r.sweep("ratio-mid", classMixNames(trace.MID), []string{"2:1", "1:1", "1:2"},
+		func(v string, c *sim.Config) { c.Power = powerRatioSystem(v, c.Mix.Cores()) })
+}
+
+// Figure13 is the same sweep on the MEM mixes (trend reverses: most savings
+// come from scaling the CPU).
+func (r *Runner) Figure13() ([]SensitivityRow, error) {
+	return r.sweep("ratio-mem", classMixNames(trace.MEM), []string{"2:1", "1:1", "1:2"},
+		func(v string, c *sim.Config) { c.Power = powerRatioSystem(v, c.Mix.Cores()) })
+}
+
+// Figure14 compares the full CPU voltage range (0.65-1.2 V) against a
+// half-width range (0.95-1.2 V) on the MID mixes.
+func (r *Runner) Figure14() ([]SensitivityRow, error) {
+	return r.sweep("vrange", classMixNames(trace.MID), []string{"full", "half"},
+		func(v string, c *sim.Config) {
+			if v == "half" {
+				c.CoreLadder = freq.HalfVoltageCoreLadder()
+			}
+		})
+}
+
+// Figure15 varies the number of available frequency steps (4, 7, 10) for
+// both CPU and memory on the MID mixes.
+func (r *Runner) Figure15() ([]SensitivityRow, error) {
+	return r.sweep("nfreq", classMixNames(trace.MID), []string{"4", "7", "10"},
+		func(v string, c *sim.Config) {
+			n := map[string]int{"4": 4, "7": 7, "10": 10}[v]
+			cl, err := freq.CoreLadderN(n)
+			if err != nil {
+				panic(err)
+			}
+			ml, err := freq.MemLadderN(n)
+			if err != nil {
+				panic(err)
+			}
+			c.CoreLadder, c.MemLadder = cl, ml
+		})
+}
+
+// AblationRow compares CoScale variants (design-choice ablations called out
+// in DESIGN.md).
+type AblationRow struct {
+	Variant  PolicyName
+	Full     float64
+	WorstDeg float64
+}
+
+// Ablations runs CoScale, CoScale without core grouping, CoScale without
+// marginal caching, and the out-of-phase Semi-coordinated variant on the
+// MID mixes.
+func (r *Runner) Ablations() ([]AblationRow, error) {
+	variants := []PolicyName{CoScaleName, NoGroupingName, NoMarginalCache, SemiName, SemiOoPName}
+	mixes := classMixNames(trace.MID)
+	rows := make([]AblationRow, len(variants))
+	type acc struct{ full, worst float64 }
+	accs := make([]acc, len(variants))
+	// Pre-warm the run cache in parallel; the serial aggregation below
+	// then hits the cache.
+	err := r.forEach(len(variants)*len(mixes), func(k int) error {
+		vi, mi := k/len(mixes), k%len(mixes)
+		_, err := r.Execute(mixes[mi], variants[vi], nil, "default")
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		for _, m := range mixes {
+			o, err := r.Execute(m, v, nil, "default")
+			if err != nil {
+				return nil, err
+			}
+			accs[vi].full += o.FullSavings() / float64(len(mixes))
+			if w := o.WorstDegradation(); w > accs[vi].worst {
+				accs[vi].worst = w
+			}
+		}
+		rows[vi] = AblationRow{Variant: v, Full: accs[vi].full, WorstDeg: accs[vi].worst}
+	}
+	return rows, nil
+}
+
+// ProfilingWindowRow measures sensitivity to the profiling-window length
+// (the paper's 300 µs default).
+type ProfilingWindowRow struct {
+	Window   time.Duration
+	Full     float64
+	WorstDeg float64
+}
+
+// ProfilingWindowSweep runs CoScale on the MID mixes with different
+// profiling windows.
+func (r *Runner) ProfilingWindowSweep() ([]ProfilingWindowRow, error) {
+	windows := []time.Duration{100 * time.Microsecond, 300 * time.Microsecond, 1 * time.Millisecond}
+	mixes := classMixNames(trace.MID)
+	rows := make([]ProfilingWindowRow, len(windows))
+	for wi, w := range windows {
+		row := ProfilingWindowRow{Window: w}
+		for _, m := range mixes {
+			o, err := r.Execute(m, CoScaleName,
+				func(c *sim.Config) { c.ProfileLen = w }, fmt.Sprintf("prof=%s", w))
+			if err != nil {
+				return nil, err
+			}
+			row.Full += o.FullSavings() / float64(len(mixes))
+			if d := o.WorstDegradation(); d > row.WorstDeg {
+				row.WorstDeg = d
+			}
+		}
+		rows[wi] = row
+	}
+	return rows, nil
+}
+
+// FormatSensitivity renders a sensitivity sweep grouped by variant.
+func FormatSensitivity(title string, rows []SensitivityRow) string {
+	s := title + "\n"
+	s += fmt.Sprintf("%-6s %-8s %10s %10s\n", "mix", "variant", "savings", "worst-deg")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-6s %-8s %9.1f%% %9.1f%%\n", r.Mix, r.Variant, r.Full*100, r.WorstDeg*100)
+	}
+	return s
+}

@@ -1,0 +1,211 @@
+// Package freq models the voltage/frequency ladders and DVFS domains of the
+// simulated server: per-core ladders (2.2-4.0 GHz, 10 steps by default, with
+// voltage scaling proportionally over 0.65-1.2 V as in Intel Sandybridge) and
+// the memory-subsystem ladder (bus/DRAM 200-800 MHz in 66 MHz steps; the
+// memory controller always runs at double the bus frequency and shares the
+// core voltage range).
+//
+// Throughout the package a "step" is an index into a Ladder, with step 0
+// being the HIGHEST frequency. This matches the paper's search, which starts
+// at maximum frequency and considers one-step reductions.
+package freq
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Hz helpers. Frequencies are plain float64 Hz; these constants keep literal
+// configuration readable.
+const (
+	KHz = 1e3
+	MHz = 1e6
+	GHz = 1e9
+)
+
+// Point is a single voltage/frequency operating point.
+type Point struct {
+	Hz    float64 // operating frequency in Hz
+	Volts float64 // supply voltage in V
+}
+
+// Ladder is an ordered list of operating points, highest frequency first.
+// A Ladder is immutable after construction.
+type Ladder struct {
+	points []Point
+}
+
+var (
+	// ErrEmptyLadder is returned when constructing a ladder with no points.
+	ErrEmptyLadder = errors.New("freq: ladder must have at least one point")
+	// ErrBadRange is returned for non-positive or inverted ranges.
+	ErrBadRange = errors.New("freq: invalid frequency or voltage range")
+)
+
+// NewLadder builds a ladder with n equally spaced frequencies spanning
+// [minHz, maxHz] and voltage scaling linearly with frequency over
+// [minV, maxV] (max voltage at max frequency). Points are ordered highest
+// frequency first. n == 1 yields a single point at (maxHz, maxV).
+func NewLadder(minHz, maxHz, minV, maxV float64, n int) (*Ladder, error) {
+	if n < 1 {
+		return nil, ErrEmptyLadder
+	}
+	if minHz <= 0 || maxHz < minHz || minV <= 0 || maxV < minV {
+		return nil, ErrBadRange
+	}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		frac := 0.0
+		if n > 1 {
+			frac = float64(i) / float64(n-1) // 0 at top, 1 at bottom
+		}
+		hz := maxHz - frac*(maxHz-minHz)
+		v := maxV - frac*(maxV-minV)
+		pts[i] = Point{Hz: hz, Volts: v}
+	}
+	return &Ladder{points: pts}, nil
+}
+
+// NewLadderSteps builds a ladder from maxHz downward in fixed decrements of
+// stepHz until the next point would fall below minHz. Voltage scales linearly
+// with frequency over [minV, maxV].
+func NewLadderSteps(minHz, maxHz, stepHz, minV, maxV float64, maxSteps int) (*Ladder, error) {
+	if minHz <= 0 || maxHz < minHz || stepHz <= 0 || minV <= 0 || maxV < minV {
+		return nil, ErrBadRange
+	}
+	var pts []Point
+	for hz := maxHz; hz >= minHz-1e-3 && (maxSteps <= 0 || len(pts) < maxSteps); hz -= stepHz {
+		frac := 0.0
+		if maxHz > minHz {
+			frac = (maxHz - hz) / (maxHz - minHz)
+		}
+		pts = append(pts, Point{Hz: hz, Volts: maxV - frac*(maxV-minV)})
+	}
+	if len(pts) == 0 {
+		return nil, ErrEmptyLadder
+	}
+	return &Ladder{points: pts}, nil
+}
+
+// Steps returns the number of operating points.
+func (l *Ladder) Steps() int { return len(l.points) }
+
+// Point returns the operating point at the given step (0 = highest frequency).
+// It panics if step is out of range; callers index with validated steps.
+func (l *Ladder) Point(step int) Point {
+	if step < 0 || step >= len(l.points) {
+		panic(fmt.Sprintf("freq: step %d out of range [0,%d)", step, len(l.points)))
+	}
+	return l.points[step]
+}
+
+// Hz returns the frequency at step.
+func (l *Ladder) Hz(step int) float64 { return l.Point(step).Hz }
+
+// Volts returns the voltage at step.
+func (l *Ladder) Volts(step int) float64 { return l.Point(step).Volts }
+
+// MaxHz returns the highest frequency on the ladder.
+func (l *Ladder) MaxHz() float64 { return l.points[0].Hz }
+
+// MinHz returns the lowest frequency on the ladder.
+func (l *Ladder) MinHz() float64 { return l.points[len(l.points)-1].Hz }
+
+// Bottom reports whether step is the lowest-frequency point.
+func (l *Ladder) Bottom(step int) bool { return step == len(l.points)-1 }
+
+// Clamp returns step clamped to the valid range.
+func (l *Ladder) Clamp(step int) int {
+	if step < 0 {
+		return 0
+	}
+	if step >= len(l.points) {
+		return len(l.points) - 1
+	}
+	return step
+}
+
+// Nearest returns the step whose frequency is closest to hz.
+func (l *Ladder) Nearest(hz float64) int {
+	best, bestDiff := 0, -1.0
+	for i, p := range l.points {
+		d := p.Hz - hz
+		if d < 0 {
+			d = -d
+		}
+		if bestDiff < 0 || d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	return best
+}
+
+// Points returns a copy of the ladder's operating points, highest first.
+func (l *Ladder) Points() []Point {
+	out := make([]Point, len(l.points))
+	copy(out, l.points)
+	return out
+}
+
+// String renders the ladder compactly, e.g. "10 steps 4.00GHz..2.20GHz".
+func (l *Ladder) String() string {
+	return fmt.Sprintf("%d steps %.2fGHz..%.2fGHz", len(l.points), l.MaxHz()/GHz, l.MinHz()/GHz)
+}
+
+// Default ladder parameters from the paper's evaluation (Table 2 and §4.1).
+const (
+	DefaultCoreMaxHz  = 4.0 * GHz
+	DefaultCoreMinHz  = 2.2 * GHz
+	DefaultCoreSteps  = 10
+	DefaultCoreMaxV   = 1.2
+	DefaultCoreMinV   = 0.65
+	DefaultMemMaxHz   = 800 * MHz
+	DefaultMemMinHz   = 200 * MHz
+	DefaultMemStepHz  = 66 * MHz
+	DefaultMemSteps   = 10 // 800,734,668,...,206 MHz
+	HalfRangeCoreMinV = 0.95
+)
+
+// DefaultCoreLadder returns the paper's per-core ladder: 10 equally spaced
+// frequencies in 2.2-4.0 GHz with voltage 0.65-1.2 V.
+func DefaultCoreLadder() *Ladder {
+	l, err := NewLadder(DefaultCoreMinHz, DefaultCoreMaxHz, DefaultCoreMinV, DefaultCoreMaxV, DefaultCoreSteps)
+	if err != nil {
+		panic(err) // static parameters; cannot fail
+	}
+	return l
+}
+
+// CoreLadderN returns a core ladder with n equally spaced frequencies over
+// the default range (used by the Figure 15 frequency-granularity study).
+func CoreLadderN(n int) (*Ladder, error) {
+	return NewLadder(DefaultCoreMinHz, DefaultCoreMaxHz, DefaultCoreMinV, DefaultCoreMaxV, n)
+}
+
+// HalfVoltageCoreLadder returns the Figure 14 variant: same frequencies but
+// voltage confined to 0.95-1.2 V.
+func HalfVoltageCoreLadder() *Ladder {
+	l, err := NewLadder(DefaultCoreMinHz, DefaultCoreMaxHz, HalfRangeCoreMinV, DefaultCoreMaxV, DefaultCoreSteps)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// DefaultMemLadder returns the paper's memory-bus ladder: 800 MHz down to
+// 200 MHz in 66 MHz steps (10 points). The DRAM devices lock to this clock;
+// the memory controller runs at double this frequency with the core voltage
+// range.
+func DefaultMemLadder() *Ladder {
+	l, err := NewLadderSteps(DefaultMemMinHz, DefaultMemMaxHz, DefaultMemStepHz, DefaultCoreMinV, DefaultCoreMaxV, DefaultMemSteps)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// MemLadderN returns a memory ladder with n equally spaced frequencies over
+// the default bus range (Figure 15).
+func MemLadderN(n int) (*Ladder, error) {
+	return NewLadder(DefaultMemMinHz, DefaultMemMaxHz, DefaultCoreMinV, DefaultCoreMaxV, n)
+}

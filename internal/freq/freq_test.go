@@ -1,0 +1,211 @@
+package freq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultCoreLadder(t *testing.T) {
+	l := DefaultCoreLadder()
+	if got := l.Steps(); got != 10 {
+		t.Fatalf("Steps() = %d, want 10", got)
+	}
+	if got := l.MaxHz(); got != 4.0*GHz {
+		t.Errorf("MaxHz() = %g, want 4 GHz", got)
+	}
+	if got := l.MinHz(); math.Abs(got-2.2*GHz) > 1 {
+		t.Errorf("MinHz() = %g, want 2.2 GHz", got)
+	}
+	if got := l.Volts(0); got != 1.2 {
+		t.Errorf("Volts(0) = %g, want 1.2", got)
+	}
+	if got := l.Volts(9); math.Abs(got-0.65) > 1e-9 {
+		t.Errorf("Volts(9) = %g, want 0.65", got)
+	}
+	// Equal spacing: 1.8 GHz / 9 = 200 MHz per step.
+	for i := 1; i < l.Steps(); i++ {
+		d := l.Hz(i-1) - l.Hz(i)
+		if math.Abs(d-200*MHz) > 1 {
+			t.Errorf("step %d spacing = %g, want 200 MHz", i, d)
+		}
+	}
+}
+
+func TestDefaultMemLadder(t *testing.T) {
+	l := DefaultMemLadder()
+	if got := l.Steps(); got != 10 {
+		t.Fatalf("Steps() = %d, want 10", got)
+	}
+	if got := l.MaxHz(); got != 800*MHz {
+		t.Errorf("MaxHz() = %g, want 800 MHz", got)
+	}
+	// 800 - 9*66 = 206 MHz bottom step.
+	if got := l.MinHz(); math.Abs(got-206*MHz) > 1 {
+		t.Errorf("MinHz() = %g, want 206 MHz", got)
+	}
+	for i := 1; i < l.Steps(); i++ {
+		d := l.Hz(i-1) - l.Hz(i)
+		if math.Abs(d-66*MHz) > 1 {
+			t.Errorf("step %d spacing = %g, want 66 MHz", i, d)
+		}
+	}
+}
+
+func TestLadderMonotonic(t *testing.T) {
+	for _, l := range []*Ladder{DefaultCoreLadder(), DefaultMemLadder(), HalfVoltageCoreLadder()} {
+		for i := 1; i < l.Steps(); i++ {
+			if l.Hz(i) >= l.Hz(i-1) {
+				t.Errorf("%v: Hz not strictly decreasing at step %d", l, i)
+			}
+			if l.Volts(i) > l.Volts(i-1) {
+				t.Errorf("%v: Volts increasing at step %d", l, i)
+			}
+		}
+	}
+}
+
+func TestHalfVoltageCoreLadder(t *testing.T) {
+	l := HalfVoltageCoreLadder()
+	if got := l.Volts(l.Steps() - 1); math.Abs(got-0.95) > 1e-9 {
+		t.Errorf("bottom voltage = %g, want 0.95", got)
+	}
+	full := DefaultCoreLadder()
+	for i := 0; i < l.Steps(); i++ {
+		if l.Hz(i) != full.Hz(i) {
+			t.Errorf("frequency at step %d differs from full-range ladder", i)
+		}
+	}
+}
+
+func TestCoreLadderN(t *testing.T) {
+	for _, n := range []int{4, 7, 10} {
+		l, err := CoreLadderN(n)
+		if err != nil {
+			t.Fatalf("CoreLadderN(%d): %v", n, err)
+		}
+		if l.Steps() != n {
+			t.Errorf("CoreLadderN(%d).Steps() = %d", n, l.Steps())
+		}
+		if l.MaxHz() != 4.0*GHz || math.Abs(l.MinHz()-2.2*GHz) > 1 {
+			t.Errorf("CoreLadderN(%d) range = [%g,%g]", n, l.MinHz(), l.MaxHz())
+		}
+	}
+}
+
+func TestNewLadderErrors(t *testing.T) {
+	cases := []struct {
+		name                     string
+		minHz, maxHz, minV, maxV float64
+		n                        int
+	}{
+		{"zero points", 1, 2, 1, 2, 0},
+		{"negative min", -1, 2, 1, 2, 3},
+		{"inverted hz", 3, 2, 1, 2, 3},
+		{"inverted volts", 1, 2, 3, 2, 3},
+		{"zero voltage", 1, 2, 0, 2, 3},
+	}
+	for _, c := range cases {
+		if _, err := NewLadder(c.minHz, c.maxHz, c.minV, c.maxV, c.n); err == nil {
+			t.Errorf("%s: NewLadder succeeded, want error", c.name)
+		}
+	}
+	if _, err := NewLadderSteps(100, 50, 10, 1, 2, 0); err == nil {
+		t.Error("NewLadderSteps with inverted range succeeded, want error")
+	}
+}
+
+func TestSinglePointLadder(t *testing.T) {
+	l, err := NewLadder(2*GHz, 2*GHz, 1.0, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Steps() != 1 || l.Hz(0) != 2*GHz || l.Volts(0) != 1.0 {
+		t.Errorf("single-point ladder = %+v", l.Points())
+	}
+	if !l.Bottom(0) {
+		t.Error("Bottom(0) = false for single-point ladder")
+	}
+}
+
+func TestClampAndNearest(t *testing.T) {
+	l := DefaultCoreLadder()
+	if got := l.Clamp(-3); got != 0 {
+		t.Errorf("Clamp(-3) = %d", got)
+	}
+	if got := l.Clamp(99); got != 9 {
+		t.Errorf("Clamp(99) = %d", got)
+	}
+	if got := l.Clamp(4); got != 4 {
+		t.Errorf("Clamp(4) = %d", got)
+	}
+	if got := l.Nearest(4 * GHz); got != 0 {
+		t.Errorf("Nearest(4GHz) = %d", got)
+	}
+	if got := l.Nearest(0); got != 9 {
+		t.Errorf("Nearest(0) = %d", got)
+	}
+	if got := l.Nearest(3.05 * GHz); l.Hz(got) != 3.0*GHz {
+		t.Errorf("Nearest(3.05GHz) -> %g Hz", l.Hz(got))
+	}
+}
+
+func TestPointPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Point(99) did not panic")
+		}
+	}()
+	DefaultCoreLadder().Point(99)
+}
+
+func TestPointsIsCopy(t *testing.T) {
+	l := DefaultCoreLadder()
+	pts := l.Points()
+	pts[0].Hz = 1
+	if l.Hz(0) == 1 {
+		t.Error("mutating Points() result affected ladder")
+	}
+}
+
+func TestMemTransitionTime(t *testing.T) {
+	// At 800 MHz: 512 cycles = 640 ns, +28 ns = 668 ns.
+	got := MemTransitionTime(800 * MHz)
+	want := 668 * time.Nanosecond
+	if d := got - want; d < -time.Nanosecond || d > time.Nanosecond {
+		t.Errorf("MemTransitionTime(800MHz) = %v, want %v", got, want)
+	}
+	// Slower bus -> longer transition.
+	if MemTransitionTime(200*MHz) <= MemTransitionTime(800*MHz) {
+		t.Error("transition not monotonic in frequency")
+	}
+	if MemTransitionTime(0) != MemTransitionFixed {
+		t.Error("zero frequency should return fixed cost only")
+	}
+}
+
+// Property: for any valid ladder, voltage is a non-increasing function of
+// step and frequency is strictly decreasing, and Nearest inverts Hz.
+func TestLadderProperties(t *testing.T) {
+	f := func(nRaw uint8, spanRaw uint16) bool {
+		n := int(nRaw%20) + 1
+		span := 0.1 + float64(spanRaw)/1000.0 // GHz of span
+		l, err := NewLadder(1*GHz, (1+span)*GHz, 0.7, 1.1, n)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < l.Steps(); s++ {
+			if l.Nearest(l.Hz(s)) != s {
+				return false
+			}
+			if s > 0 && l.Hz(s) >= l.Hz(s-1) {
+				return false
+			}
+		}
+		return l.Steps() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

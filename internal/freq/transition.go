@@ -1,0 +1,31 @@
+package freq
+
+import "time"
+
+// Transition costs (§3 "Overall operation" and §4.1). A core DVFS transition
+// takes a few tens of microseconds during which that core does not execute
+// instructions. A memory-subsystem transition halts all memory accesses while
+// PLLs/DLLs resynchronize: 512 memory cycles plus 28 ns for the DRAM state
+// round-trip through fast-exit precharge powerdown.
+const (
+	// DefaultCoreTransition is the per-core voltage/frequency switch time.
+	DefaultCoreTransition = 30 * time.Microsecond
+	// MemTransitionCycles is the DLL re-lock time in memory bus cycles
+	// (tDLLK is approximately 500 cycles; the paper charges 512).
+	MemTransitionCycles = 512
+	// MemTransitionFixed is the additional fixed cost of entering and
+	// exiting fast-exit precharge powerdown.
+	MemTransitionFixed = 28 * time.Nanosecond
+)
+
+// MemTransitionTime returns the wall-clock stall for a memory-subsystem
+// frequency change when the bus runs at newHz after the change. Cycles are
+// charged at the new (slower of the two would also be defensible) frequency;
+// the difference is nanoseconds and irrelevant at 5 ms epochs.
+func MemTransitionTime(newHz float64) time.Duration {
+	if newHz <= 0 {
+		return MemTransitionFixed
+	}
+	secs := float64(MemTransitionCycles) / newHz
+	return time.Duration(secs*1e9)*time.Nanosecond + MemTransitionFixed
+}

@@ -1,0 +1,153 @@
+// Package perf implements the paper's performance model (§3.3, Eq. 1):
+//
+//	E[CPI] = (E[TPI_CPU] + α·E[TPI_L2] + β·E[TPI_Mem]) · F_CPU
+//
+// expressed here in time-per-instruction (TPI, seconds) form, together with
+// the joint fixed-point solver that couples every core's instruction rate to
+// the shared memory system's queueing delays. The same solver serves as the
+// fast backend's ground truth (fed with true trace statistics) and as the
+// controllers' online prediction model (fed with counter-derived
+// statistics); see DESIGN.md §4.
+package perf
+
+import (
+	"math"
+
+	"coscale/internal/memsys"
+)
+
+// CoreStats is the per-core, per-instruction characterization the model
+// needs — exactly the quantities derivable from the paper's performance
+// counters during a profiling window.
+type CoreStats struct {
+	// CPIBase is core cycles per instruction spent computing (including
+	// L1 hits): (Cycles − StallL2 − StallMem) / TIC.
+	CPIBase float64
+	// Alpha is the fraction of instructions that access the L2 and stall
+	// (TMS/TIC); StallL2 is the average pipeline stall per such
+	// instruction, in seconds (frequency-independent: the L2 domain does
+	// not scale).
+	Alpha   float64
+	StallL2 float64
+	// Beta is the fraction of instructions that miss the L2 and stall
+	// (TLS/TIC).
+	Beta float64
+	// MemPerInstr is the memory traffic generated per instruction
+	// (demand misses + writebacks + prefetch fills), in 64 B requests.
+	MemPerInstr float64
+	// MLP is the effective memory-level parallelism: the ratio of memory
+	// latency to observed per-miss pipeline stall (1 for in-order cores
+	// with a single outstanding miss).
+	MLP float64
+}
+
+// TPI returns the core's time per instruction in seconds at core frequency
+// coreHz when the average memory latency is memLatency seconds.
+func (s CoreStats) TPI(coreHz, memLatency float64) float64 {
+	if coreHz <= 0 {
+		return math.Inf(1)
+	}
+	mlp := s.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	return s.CPIBase/coreHz + s.Alpha*s.StallL2 + s.Beta*memLatency/mlp
+}
+
+// Result is the solved steady state of the full system at one frequency
+// combination.
+type Result struct {
+	TPI        []float64   // seconds per instruction, per core
+	IPS        []float64   // instructions per second, per core
+	MemRate    float64     // aggregate memory requests per second
+	Mem        memsys.Load // memory-system state at that rate
+	Iterations int         // fixed-point iterations used
+}
+
+// Solver couples the per-core model to the memory queueing model.
+type Solver struct {
+	Mem memsys.Params
+	// Tol is the convergence tolerance on relative TPI change
+	// (default 1e-9); MaxIter bounds iterations (default 60).
+	Tol     float64
+	MaxIter int
+}
+
+// NewSolver returns a Solver over the given memory parameters with default
+// convergence settings.
+func NewSolver(mem memsys.Params) *Solver {
+	return &Solver{Mem: mem, Tol: 1e-9, MaxIter: 60}
+}
+
+// Solve computes the joint steady state: every core's TPI depends on memory
+// latency, which depends on the aggregate request rate, which depends on
+// every core's instruction rate. The map is a damped fixed-point iteration;
+// it converges because higher latency lowers instruction rates, which lowers
+// load (a monotone negative feedback).
+//
+// coreHz[i] is core i's frequency; busHz is the memory bus frequency.
+func (sv *Solver) Solve(cores []CoreStats, coreHz []float64, busHz float64) Result {
+	if len(cores) != len(coreHz) {
+		panic("perf: cores and coreHz length mismatch")
+	}
+	tol := sv.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	maxIter := sv.MaxIter
+	if maxIter <= 0 {
+		maxIter = 60
+	}
+
+	res := Result{
+		TPI: make([]float64, len(cores)),
+		IPS: make([]float64, len(cores)),
+	}
+	// Start from the unloaded latency.
+	load := sv.Mem.Evaluate(busHz, 0)
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		rate := 0.0
+		maxRel := 0.0
+		for i, c := range cores {
+			tpi := c.TPI(coreHz[i], load.Latency)
+			if prev := res.TPI[i]; prev > 0 {
+				rel := math.Abs(tpi-prev) / prev
+				if rel > maxRel {
+					maxRel = rel
+				}
+			} else {
+				maxRel = 1
+			}
+			res.TPI[i] = tpi
+			if tpi > 0 && !math.IsInf(tpi, 1) {
+				res.IPS[i] = 1 / tpi
+			} else {
+				res.IPS[i] = 0
+			}
+			rate += res.IPS[i] * c.MemPerInstr
+		}
+		// Damp the rate to avoid oscillation near saturation.
+		if iter > 0 {
+			rate = 0.5*rate + 0.5*res.MemRate
+		}
+		res.MemRate = rate
+		load = sv.Mem.Evaluate(busHz, rate)
+		if iter > 0 && maxRel < tol {
+			break
+		}
+	}
+	res.Mem = load
+	res.Iterations = iter + 1
+	return res
+}
+
+// SolveUniform is a convenience wrapper for configurations where all cores
+// share one frequency.
+func (sv *Solver) SolveUniform(cores []CoreStats, coreHz, busHz float64) Result {
+	hz := make([]float64, len(cores))
+	for i := range hz {
+		hz[i] = coreHz
+	}
+	return sv.Solve(cores, hz, busHz)
+}

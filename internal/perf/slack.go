@@ -1,0 +1,56 @@
+package perf
+
+// Slack implements the paper's program-slack accounting (§3 "Performance
+// management"):
+//
+//	Slack = T_MaxFreq·(1+γ) − T_Actual
+//
+// accumulated epoch by epoch. A controller may slow a program down in the
+// next epoch only as far as the accumulated slack plus the new epoch's
+// allowance permits.
+type Slack struct {
+	// Gamma is the maximum allowed slowdown (e.g. 0.10 for 10%).
+	Gamma float64
+
+	accumulated float64 // seconds of remaining headroom
+	tMax        float64 // estimated total time at maximum frequencies
+	tActual     float64 // actual elapsed time
+}
+
+// NewSlack returns a tracker for the given performance bound.
+func NewSlack(gamma float64) *Slack {
+	return &Slack{Gamma: gamma}
+}
+
+// Record accounts one epoch: tMaxEpoch is the (estimated) duration this
+// epoch's work would have taken at maximum frequencies; tActualEpoch is the
+// wall-clock duration it actually took.
+func (s *Slack) Record(tMaxEpoch, tActualEpoch float64) {
+	s.tMax += tMaxEpoch
+	s.tActual += tActualEpoch
+	s.accumulated += tMaxEpoch*(1+s.Gamma) - tActualEpoch
+}
+
+// Available returns the accumulated slack in seconds (negative when the
+// program is behind its bound).
+func (s *Slack) Available() float64 { return s.accumulated }
+
+// Allowance returns the time budget for the next epoch whose work would take
+// tMaxEpoch at maximum frequencies: the epoch's own allowance plus any
+// accumulated slack (or minus any deficit).
+func (s *Slack) Allowance(tMaxEpoch float64) float64 {
+	return tMaxEpoch*(1+s.Gamma) + s.accumulated
+}
+
+// Degradation returns the achieved slowdown so far relative to the
+// estimated maximum-frequency execution: T_Actual/T_Max − 1.
+func (s *Slack) Degradation() float64 {
+	if s.tMax <= 0 {
+		return 0
+	}
+	return s.tActual/s.tMax - 1
+}
+
+// Reset clears all accumulated state, keeping the bound. Used when a
+// program context-switches (the paper keeps slack per software thread).
+func (s *Slack) Reset() { s.accumulated, s.tMax, s.tActual = 0, 0, 0 }

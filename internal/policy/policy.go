@@ -1,0 +1,339 @@
+// Package policy defines the controller interface shared by CoScale and the
+// five comparison policies of §3.2, the counter-derived Observation the OS
+// hands a controller each epoch, and the candidate-evaluation machinery
+// (joint performance prediction, power prediction, SER) all controllers are
+// built from.
+//
+// The policies themselves live here (MemScale, CPUOnly, Uncoordinated,
+// Semi-coordinated, Offline) and in internal/core (CoScale, the paper's
+// contribution).
+package policy
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"coscale/internal/freq"
+	"coscale/internal/memsys"
+	"coscale/internal/perf"
+	"coscale/internal/power"
+	"coscale/internal/trace"
+)
+
+// Config is the static system description every controller shares.
+type Config struct {
+	NCores     int
+	CoreLadder *freq.Ladder
+	MemLadder  *freq.Ladder
+	Mem        memsys.Params
+	Power      power.System
+
+	// Gamma is the allowed per-program slowdown (0.10 = 10%).
+	Gamma float64
+	// EpochLen is the control period (5 ms in the paper).
+	EpochLen time.Duration
+	// Reserve is slack withheld each epoch (seconds) to cover the
+	// unmodelled DVFS transition dead time, keeping the bound from being
+	// grazed by overheads the performance model does not see. Defaults
+	// (via sim.Config) to roughly one core plus one memory transition.
+	Reserve float64
+}
+
+// Limits computes the per-core slowdown limits for the next epoch from
+// accumulated slack, after withholding the transition reserve.
+func (c Config) Limits(slack []float64) []float64 {
+	adj := make([]float64, len(slack))
+	for i, s := range slack {
+		adj[i] = s - c.Reserve
+	}
+	return MaxSlowdowns(adj, c.EpochLen.Seconds(), c.Gamma)
+}
+
+// Validate checks the configuration is usable.
+func (c Config) Validate() error {
+	if c.NCores <= 0 {
+		return fmt.Errorf("policy: NCores must be positive")
+	}
+	if c.CoreLadder == nil || c.MemLadder == nil {
+		return fmt.Errorf("policy: ladders must be set")
+	}
+	if c.Gamma < 0 {
+		return fmt.Errorf("policy: negative Gamma")
+	}
+	if c.EpochLen <= 0 {
+		return fmt.Errorf("policy: EpochLen must be positive")
+	}
+	return nil
+}
+
+// CoreObs is one core's counter-derived profile for a window.
+type CoreObs struct {
+	Instructions uint64
+	// Stats are the per-instruction model inputs derived from the
+	// counters (CPIBase in cycles; Alpha/Beta fractions; StallL2 in
+	// seconds; MemPerInstr in 64 B requests; MLP dimensionless).
+	Stats perf.CoreStats
+	// L2PerInstr is L2 accesses per instruction (TLA/TIC), for L2 power.
+	L2PerInstr float64
+	// Mix is the activity-counter instruction breakdown for core power.
+	Mix trace.InstrMix
+	// IPS is the measured instruction rate over the window.
+	IPS float64
+}
+
+// Observation is what a controller sees after a profiling window: per-core
+// profiles plus memory-subsystem aggregates, all derived from the §3.3
+// performance counters, and the settings that were in effect.
+type Observation struct {
+	Window    float64 // seconds of wall time profiled
+	CoreSteps []int   // settings in effect while profiling
+	MemStep   int
+
+	// ThreadIDs identifies the software thread scheduled on each core
+	// during the window, for per-thread slack accounting (§3.3). Nil
+	// means thread i runs on core i.
+	ThreadIDs []int
+
+	Cores []CoreObs
+
+	MemRate    float64 // aggregate memory requests/s observed
+	MemLatency float64 // average request latency observed, seconds
+	UtilBus    float64 // observed bus utilization
+	BusyFrac   float64 // observed fraction of time ranks were busy (not powered down)
+}
+
+// CoreThreads returns the thread-on-core mapping, defaulting to identity.
+func (o Observation) CoreThreads() []int {
+	if o.ThreadIDs != nil {
+		return o.ThreadIDs
+	}
+	return identity(len(o.Cores))
+}
+
+// Decision is a controller's chosen frequency combination.
+type Decision struct {
+	CoreSteps []int
+	MemStep   int
+}
+
+// Clone returns a deep copy of the decision.
+func (d Decision) Clone() Decision {
+	out := Decision{CoreSteps: make([]int, len(d.CoreSteps)), MemStep: d.MemStep}
+	copy(out.CoreSteps, d.CoreSteps)
+	return out
+}
+
+// Policy is an epoch-granularity DVFS controller.
+type Policy interface {
+	// Name identifies the policy in results and logs.
+	Name() string
+	// Decide chooses the next epoch's frequencies from a profiling-window
+	// observation.
+	Decide(obs Observation) Decision
+	// Observe delivers the whole-epoch observation after the epoch runs,
+	// for slack accounting.
+	Observe(epoch Observation)
+}
+
+// OraclePolicy is implemented by policies (Offline) that must be fed the
+// true characteristics of the upcoming epoch rather than the profiling
+// window.
+type OraclePolicy interface {
+	Policy
+	// WantsOracle reports that Decide expects oracle observations.
+	WantsOracle() bool
+}
+
+// Evaluator predicts performance, power and SER for candidate frequency
+// combinations against a fixed observation. It is rebuilt once per decision.
+type Evaluator struct {
+	Cfg    Config
+	Solver *perf.Solver
+
+	stats      []perf.CoreStats
+	obs        Observation
+	busyPerReq float64 // measured rank-busy time per request, for power prediction
+
+	baseline Eval // all components at maximum frequency
+}
+
+// Eval is the predicted outcome of one frequency combination.
+type Eval struct {
+	TPI      []float64 // predicted seconds/instruction per core
+	Slowdown []float64 // TPI ratio vs the all-max baseline (>= ~1)
+	MaxSlow  float64   // worst per-core slowdown (the Eq. 2 time factor)
+	Power    power.Split
+	SER      float64
+	MemLoad  memsys.Load
+}
+
+// NewEvaluator builds an evaluator for obs using the counter-derived
+// per-core statistics.
+func NewEvaluator(cfg Config, obs Observation) *Evaluator {
+	ev := &Evaluator{Cfg: cfg, Solver: perf.NewSolver(cfg.Mem), obs: obs}
+	// Controller-side predictions need far less precision than ground
+	// truth; a looser fixed-point tolerance keeps the §3.1 search cheap.
+	ev.Solver.Tol = 1e-6
+	ev.Solver.MaxIter = 25
+	ev.stats = make([]perf.CoreStats, len(obs.Cores))
+	for i, c := range obs.Cores {
+		ev.stats[i] = c.Stats
+	}
+	if obs.MemRate > 0 {
+		ev.busyPerReq = obs.BusyFrac / obs.MemRate
+	}
+	maxSteps := make([]int, len(obs.Cores))
+	ev.baseline = ev.evaluate(maxSteps, 0)
+	ev.baseline.SER = 1
+	return ev
+}
+
+// Baseline returns the all-max evaluation (the SER denominator).
+func (ev *Evaluator) Baseline() Eval { return ev.baseline }
+
+// Stats returns the counter-derived per-core statistics in use.
+func (ev *Evaluator) Stats() []perf.CoreStats { return ev.stats }
+
+// ObsCore returns core i's observation.
+func (ev *Evaluator) ObsCore(i int) CoreObs { return ev.obs.Cores[i] }
+
+// Obs returns the observation the evaluator was built from.
+func (ev *Evaluator) Obs() Observation { return ev.obs }
+
+// Evaluate predicts the outcome of running with the given per-core and
+// memory steps.
+func (ev *Evaluator) Evaluate(coreSteps []int, memStep int) Eval {
+	e := ev.evaluate(coreSteps, memStep)
+	if ev.baseline.MaxSlow > 0 {
+		e.SER = power.SER(e.MaxSlow, e.Power.Total, ev.baseline.MaxSlow, ev.baseline.Power.Total)
+	}
+	return e
+}
+
+// EvaluateFixedLatency predicts per-core TPI with the memory system pinned
+// at a fixed latency (the Uncoordinated/Semi-coordinated CPU managers'
+// assumption that "memory behaviour will stay the same"). Power is still
+// evaluated fully.
+func (ev *Evaluator) EvaluateFixedLatency(coreSteps []int, memStep int, latency float64) Eval {
+	hz := ev.coreHz(coreSteps)
+	e := Eval{TPI: make([]float64, len(ev.stats)), Slowdown: make([]float64, len(ev.stats))}
+	for i, s := range ev.stats {
+		e.TPI[i] = s.TPI(hz[i], latency)
+	}
+	e.MemLoad = memsys.Load{Latency: latency, XiBus: 1, XiBank: 1, UtilBus: ev.obs.UtilBus}
+	ev.finish(&e, hz, memStep, e.memRate(ev.stats))
+	return e
+}
+
+func (e *Eval) memRate(stats []perf.CoreStats) float64 {
+	rate := 0.0
+	for i, tpi := range e.TPI {
+		if tpi > 0 && !math.IsInf(tpi, 0) {
+			rate += stats[i].MemPerInstr / tpi
+		}
+	}
+	return rate
+}
+
+func (ev *Evaluator) coreHz(coreSteps []int) []float64 {
+	hz := make([]float64, len(coreSteps))
+	for i, s := range coreSteps {
+		hz[i] = ev.Cfg.CoreLadder.Hz(s)
+	}
+	return hz
+}
+
+func (ev *Evaluator) evaluate(coreSteps []int, memStep int) Eval {
+	hz := ev.coreHz(coreSteps)
+	busHz := ev.Cfg.MemLadder.Hz(memStep)
+	res := ev.Solver.Solve(ev.stats, hz, busHz)
+	e := Eval{TPI: res.TPI, Slowdown: make([]float64, len(res.TPI)), MemLoad: res.Mem}
+	ev.finish(&e, hz, memStep, res.MemRate)
+	return e
+}
+
+// finish fills slowdowns and predicted power for an Eval whose TPI and
+// MemLoad are already set.
+func (ev *Evaluator) finish(e *Eval, hz []float64, memStep int, memRate float64) {
+	for i := range e.Slowdown {
+		if len(ev.baseline.TPI) == len(e.TPI) && ev.baseline.TPI[i] > 0 {
+			e.Slowdown[i] = e.TPI[i] / ev.baseline.TPI[i]
+		} else {
+			e.Slowdown[i] = 1
+		}
+		if e.Slowdown[i] > e.MaxSlow {
+			e.MaxSlow = e.Slowdown[i]
+		}
+	}
+	if e.MaxSlow == 0 {
+		e.MaxSlow = 1
+	}
+
+	cores := make([]power.CoreOp, len(e.TPI))
+	l2Rate := 0.0
+	for i, tpi := range e.TPI {
+		ips := 0.0
+		if tpi > 0 && !math.IsInf(tpi, 0) {
+			ips = 1 / tpi
+		}
+		cores[i] = power.CoreOp{
+			Volts: ev.Cfg.CoreLadder.Volts(stepOf(hz[i], ev.Cfg.CoreLadder)),
+			Hz:    hz[i],
+			IPS:   ips,
+			Mix:   ev.obs.Cores[i].Mix,
+		}
+		l2Rate += ips * ev.obs.Cores[i].L2PerInstr
+	}
+	busHz := ev.Cfg.MemLadder.Hz(memStep)
+	busy := ev.busyPerReq * memRate
+	if busy > 1 {
+		busy = 1
+	}
+	// Split traffic into reads and writes in the observed proportion; the
+	// energy model treats them symmetrically anyway.
+	u := power.MemUsage{
+		BusHz:     busHz,
+		MCVolts:   ev.Cfg.MemLadder.Volts(memStep),
+		ReadRate:  memRate * 0.8,
+		WriteRate: memRate * 0.2,
+		ActRate:   memRate,
+		UtilBus:   e.MemLoad.UtilBus,
+		BusyFrac:  busy,
+	}
+	e.Power = ev.Cfg.Power.Total(cores, l2Rate, u)
+}
+
+func stepOf(hz float64, l *freq.Ladder) int { return l.Nearest(hz) }
+
+// MaxSlowdowns converts per-core accumulated slack into the maximum
+// per-core slowdown permitted next epoch (§3 performance management): core i
+// may run at slowdown r if E ≤ E·(1+γ)/r + slack_i, i.e.
+// r ≤ E·(1+γ)/(E − slack_i). A slack at or above the epoch length leaves the
+// core unconstrained this epoch (returned as +Inf).
+func MaxSlowdowns(slacks []float64, epoch, gamma float64) []float64 {
+	out := make([]float64, len(slacks))
+	for i, s := range slacks {
+		if s >= epoch {
+			out[i] = math.Inf(1)
+			continue
+		}
+		r := epoch * (1 + gamma) / (epoch - s)
+		if r < 1 {
+			r = 1 // never force above-baseline speed; max frequency is the best we can do
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// WithinBound reports whether an evaluation satisfies every core's slowdown
+// limit.
+func WithinBound(e Eval, limits []float64) bool {
+	for i, s := range e.Slowdown {
+		if s > limits[i]*(1+1e-12) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,63 @@
+package policy
+
+// SemiCoordinated increases coordination slightly over Uncoordinated (§3.2
+// alternative 4): the CPU and memory managers share one slack estimate —
+// each is aware of the past CPI degradation produced by the other, so the
+// performance bound holds — but each still tries to consume the entire
+// remaining slack independently every epoch. Because neither accounts for
+// the other's simultaneous move, the pair over-corrects in both directions,
+// producing the oscillations and local minima of Figures 1, 4 and 7(c).
+type SemiCoordinated struct {
+	cfg   Config
+	slack *SlackBook
+
+	// OutOfPhase makes the managers act on alternate epochs (the §4.2.2
+	// half-epoch phase-shift variant: less oscillation, earlier local
+	// minima).
+	OutOfPhase bool
+
+	epoch int
+}
+
+// NewSemiCoordinated returns the semi-coordinated policy.
+func NewSemiCoordinated(cfg Config) *SemiCoordinated {
+	mustValidate(cfg)
+	return &SemiCoordinated{cfg: cfg, slack: NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve)}
+}
+
+// Name implements Policy.
+func (p *SemiCoordinated) Name() string {
+	if p.OutOfPhase {
+		return "Semi-coordinated-OoP"
+	}
+	return "Semi-coordinated"
+}
+
+// Decide implements Policy.
+func (p *SemiCoordinated) Decide(obs Observation) Decision {
+	p.epoch++
+	ev := NewEvaluator(p.cfg, obs)
+	limits := p.cfg.Limits(p.slack.AvailableFor(obs.CoreThreads()))
+	base := ev.Baseline().TPI
+
+	// Both managers measure degradation against the shared all-max
+	// reference (that is the coordination), but each plans as if the
+	// other component keeps its current frequency.
+	coreSteps := coreSearch(ev, obs.MemStep, obs.MemLatency, base, limits)
+	memStep := memSearch(ev, obs.CoreSteps, base, limits)
+
+	if p.OutOfPhase {
+		if p.epoch%2 == 1 {
+			memStep = obs.MemStep // memory manager sits this epoch out
+		} else {
+			coreSteps = append([]int(nil), obs.CoreSteps...)
+		}
+	}
+	return Decision{CoreSteps: coreSteps, MemStep: memStep}
+}
+
+// Observe implements Policy: shared slack bookkeeping against the joint
+// all-max reference.
+func (p *SemiCoordinated) Observe(epoch Observation) {
+	p.slack.RecordEpochFor(epoch.CoreThreads(), TMaxForEpoch(p.cfg, epoch, ZeroSteps(p.cfg.NCores), 0), epoch.Window)
+}

@@ -1,0 +1,89 @@
+package policy
+
+import "coscale/internal/perf"
+
+// SlackBook tracks per-program slack across epochs, keyed by *software
+// thread* rather than core (§3.3: "To deal with context switching, CoScale
+// can maintain the performance slack independently for each software
+// thread"). When the OS migrates a thread, its slack follows it; controllers
+// pass the thread currently on each core via Observation.ThreadIDs.
+//
+// All coordinated policies share this bookkeeping; the Uncoordinated policy
+// deliberately deviates from it (see uncoordinated.go).
+type SlackBook struct {
+	// Reserve pads each epoch's recorded wall time (seconds), persistently
+	// withholding headroom for transition dead time and model drift so
+	// the measured bound is never grazed.
+	Reserve float64
+
+	gamma    float64
+	byThread map[int]*perf.Slack
+}
+
+// NewSlackBook creates a tracker at bound gamma, withholding reserve seconds
+// of slack per epoch. n is advisory (initial capacity); threads are created
+// on first reference.
+func NewSlackBook(n int, gamma, reserve float64) *SlackBook {
+	return &SlackBook{
+		Reserve:  reserve,
+		gamma:    gamma,
+		byThread: make(map[int]*perf.Slack, n),
+	}
+}
+
+// Thread returns (creating if needed) the tracker for one software thread.
+func (b *SlackBook) Thread(id int) *perf.Slack {
+	s, ok := b.byThread[id]
+	if !ok {
+		s = perf.NewSlack(b.gamma)
+		b.byThread[id] = s
+	}
+	return s
+}
+
+// AvailableFor returns accumulated slack in seconds for the threads
+// currently scheduled on each core (threads[i] = thread on core i).
+func (b *SlackBook) AvailableFor(threads []int) []float64 {
+	out := make([]float64, len(threads))
+	for i, id := range threads {
+		out[i] = b.Thread(id).Available()
+	}
+	return out
+}
+
+// RecordEpochFor accounts one finished epoch for the scheduled threads:
+// actual is the epoch wall time; tMax[i] is the estimated time the
+// instructions committed on core i would have taken at the reference
+// (maximum) frequencies.
+func (b *SlackBook) RecordEpochFor(threads []int, tMax []float64, actual float64) {
+	for i, id := range threads {
+		b.Thread(id).Record(tMax[i], actual+b.Reserve)
+	}
+}
+
+// identity returns [0, 1, ..., n).
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TMaxForEpoch estimates, for each core, how long the instructions it
+// committed during the observed epoch would have taken at the reference
+// steps (coreSteps/memStep — pass all zeros for the all-max reference).
+// This is the "estimating what performance would have been achieved had the
+// cores and the memory subsystem operated at maximum frequency" step of §3.
+func TMaxForEpoch(cfg Config, epoch Observation, coreSteps []int, memStep int) []float64 {
+	ev := NewEvaluator(cfg, epoch)
+	ref := ev.Evaluate(coreSteps, memStep)
+	out := make([]float64, len(epoch.Cores))
+	for i, c := range epoch.Cores {
+		out[i] = float64(c.Instructions) * ref.TPI[i]
+	}
+	return out
+}
+
+// ZeroSteps returns an all-zero (maximum frequency) step vector of length n.
+func ZeroSteps(n int) []int { return make([]int, n) }

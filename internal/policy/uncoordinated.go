@@ -1,0 +1,56 @@
+package policy
+
+// Uncoordinated applies both MemScale-style memory DVFS and CPUOnly-style
+// core DVFS through two fully independent managers (§3.2 alternative 3).
+//
+// Each manager believes it alone influences the slack: in determining its
+// budget, the CPU manager assumes the memory subsystem will stay at its
+// previous-epoch frequency AND that no CPI degradation has accumulated (its
+// reference is "cores at max, memory as-is", refreshed every epoch with no
+// carry-over); the memory manager makes the mirror-image assumptions. Both
+// then consume an entire γ allowance, so the combined slowdown can approach
+// 2γ — the bound violations Figure 9 shows.
+type Uncoordinated struct {
+	cfg Config
+}
+
+// NewUncoordinated returns the uncoordinated two-manager policy.
+func NewUncoordinated(cfg Config) *Uncoordinated {
+	mustValidate(cfg)
+	return &Uncoordinated{cfg: cfg}
+}
+
+// Name implements Policy.
+func (p *Uncoordinated) Name() string { return "Uncoordinated" }
+
+// Decide implements Policy.
+func (p *Uncoordinated) Decide(obs Observation) Decision {
+	ev := NewEvaluator(p.cfg, obs)
+	n := p.cfg.NCores
+
+	// CPU manager: reference is cores-at-max with memory at its current
+	// frequency; fresh per-epoch allowance of γ per core.
+	cpuRef := ev.Evaluate(ZeroSteps(n), obs.MemStep)
+	limits := uniformLimits(n, 1+p.cfg.Gamma)
+	coreSteps := coreSearch(ev, obs.MemStep, cpuRef.MemLoad.Latency, cpuRef.TPI, limits)
+
+	// Memory manager: reference is memory-at-max with cores at their
+	// current frequencies; same fresh allowance.
+	memRef := ev.Evaluate(obs.CoreSteps, 0)
+	memStep := memSearch(ev, obs.CoreSteps, memRef.TPI, limits)
+
+	// Both managers' decisions take effect simultaneously.
+	return Decision{CoreSteps: coreSteps, MemStep: memStep}
+}
+
+// Observe implements Policy: the managers deliberately keep no cross-epoch
+// slack state ("assumes it has accumulated no CPI degradation").
+func (p *Uncoordinated) Observe(Observation) {}
+
+func uniformLimits(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

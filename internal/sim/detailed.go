@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+
+	"coscale/internal/cache"
+	"coscale/internal/cpu"
+	"coscale/internal/dram"
+	"coscale/internal/workload"
+)
+
+// DetailedConfig drives the cycle-level backend: trace-driven cores over the
+// set-associative L2 and the DDR3 simulator. It is used for
+// cross-validation of the fast backend and for micro-studies; the figure
+// sweeps run on the fast backend (see DESIGN.md §4).
+type DetailedConfig struct {
+	Mix       workload.Mix
+	CoreHz    float64
+	BusHz     float64
+	L2Bytes   int
+	OoO       bool
+	Prefetch  bool
+	Seed      uint64
+	BusCycles int // simulation length in memory-bus cycles
+}
+
+// DetailedResult is the measured outcome of a detailed run.
+type DetailedResult struct {
+	PerCoreTPI    []float64 // seconds per instruction
+	PerCoreMPKI   []float64
+	AvgMemLatency float64 // seconds (reads)
+	BusUtil       float64
+	MemRate       float64 // requests per second
+	MemEnergyJ    float64
+	Seconds       float64
+}
+
+// RunDetailed executes the cycle-level system for cfg.BusCycles bus cycles.
+func RunDetailed(cfg DetailedConfig) (*DetailedResult, error) {
+	if cfg.Mix.Cores() == 0 {
+		return nil, fmt.Errorf("sim: detailed config requires a mix")
+	}
+	if cfg.CoreHz <= 0 {
+		cfg.CoreHz = 4e9
+	}
+	if cfg.BusHz <= 0 {
+		cfg.BusHz = 800e6
+	}
+	if cfg.L2Bytes <= 0 {
+		cfg.L2Bytes = cache.DefaultSizeMB << 20
+	}
+	if cfg.BusCycles <= 0 {
+		cfg.BusCycles = 400_000
+	}
+	profiles, err := cfg.Mix.Profiles()
+	if err != nil {
+		return nil, err
+	}
+
+	dcfg := dram.DefaultConfig()
+	dcfg.BusHz = cfg.BusHz
+	mem, err := dram.New(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.NewL2(cfg.L2Bytes, cache.DefaultWays, cache.DefaultBlockSize, cfg.Mix.Cores())
+	if err != nil {
+		return nil, err
+	}
+	cores := make([]*cpu.Core, cfg.Mix.Cores())
+	for i, p := range profiles {
+		cores[i] = cpu.NewCore(i, cfg.CoreHz, p, 100_000_000, cfg.Seed+1, cfg.OoO)
+	}
+	sys := cpu.NewSystem(cores, l2, mem)
+	sys.Prefetch = cfg.Prefetch
+
+	// Warm the cache for a fifth of the run, then reset statistics by
+	// measuring deltas.
+	warm := cfg.BusCycles / 5
+	if err := sys.Run(warm); err != nil {
+		return nil, err
+	}
+	warmStats := mem.Stats()
+	type snap struct {
+		instr  uint64
+		cycles float64
+		misses uint64
+	}
+	snaps := make([]snap, len(cores))
+	for i, c := range cores {
+		snaps[i] = snap{c.Instructions, c.Cycles, c.L2Misses}
+	}
+	warmJ, warmSecs := mem.Energy()
+
+	if err := sys.Run(cfg.BusCycles); err != nil {
+		return nil, err
+	}
+
+	stats := mem.Stats()
+	res := &DetailedResult{
+		PerCoreTPI:  make([]float64, len(cores)),
+		PerCoreMPKI: make([]float64, len(cores)),
+	}
+	secs := float64(cfg.BusCycles) / cfg.BusHz
+	res.Seconds = secs
+	for i, c := range cores {
+		dInstr := c.Instructions - snaps[i].instr
+		dCyc := c.Cycles - snaps[i].cycles
+		if dInstr > 0 {
+			res.PerCoreTPI[i] = dCyc / float64(dInstr) / cfg.CoreHz
+			res.PerCoreMPKI[i] = 1000 * float64(c.L2Misses-snaps[i].misses) / float64(dInstr)
+		}
+	}
+	reads := stats.Reads - warmStats.Reads
+	if reads > 0 {
+		res.AvgMemLatency = float64(stats.LatencySum-warmStats.LatencySum) / float64(reads) / cfg.BusHz
+	}
+	res.BusUtil = float64(stats.BusBusy-warmStats.BusBusy) / float64(cfg.BusCycles) / float64(dcfg.Channels)
+	res.MemRate = float64(stats.Reads+stats.Writes-warmStats.Reads-warmStats.Writes) / secs
+	j, s := mem.Energy()
+	res.MemEnergyJ = j - warmJ
+	_ = warmSecs
+	_ = s
+	return res, nil
+}

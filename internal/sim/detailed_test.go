@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"coscale/internal/memsys"
+	"coscale/internal/workload"
+)
+
+func TestDetailedRunBasics(t *testing.T) {
+	res, err := RunDetailed(DetailedConfig{Mix: workload.MustGet("MID1"), BusCycles: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tpi := range res.PerCoreTPI {
+		if tpi <= 0 {
+			t.Errorf("core %d TPI = %g", i, tpi)
+		}
+	}
+	if res.AvgMemLatency <= 0 || res.MemRate <= 0 || res.MemEnergyJ <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if res.BusUtil <= 0 || res.BusUtil > 1 {
+		t.Errorf("BusUtil = %g", res.BusUtil)
+	}
+}
+
+func TestDetailedRequiresMix(t *testing.T) {
+	if _, err := RunDetailed(DetailedConfig{}); err == nil {
+		t.Error("empty detailed config accepted")
+	}
+}
+
+// TestAnalyticModelCalibration is the DESIGN.md §4 cross-validation: the
+// fast backend's queueing model (internal/memsys) must predict the detailed
+// DDR3 simulator's average latency within a factor-level tolerance across
+// frequencies and load levels, and must rank operating points identically.
+func TestAnalyticModelCalibration(t *testing.T) {
+	params := memsys.DefaultParams()
+	type point struct {
+		busHz float64
+		mix   string
+	}
+	points := []point{
+		{800e6, "ILP1"},
+		{800e6, "MID1"},
+		{800e6, "MEM2"},
+		{472e6, "MID1"},
+		{206e6, "ILP1"},
+	}
+	var detLat, anaLat []float64
+	for _, pt := range points {
+		res, err := RunDetailed(DetailedConfig{
+			Mix: workload.MustGet(pt.mix), BusHz: pt.busHz, BusCycles: 300_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := params.Evaluate(pt.busHz, res.MemRate)
+		detLat = append(detLat, res.AvgMemLatency)
+		anaLat = append(anaLat, pred.Latency)
+		ratio := pred.Latency / res.AvgMemLatency
+		t.Logf("%s @%3.0f MHz: detailed %5.1f ns, analytic %5.1f ns (ratio %.2f), rate %.2e req/s",
+			pt.mix, pt.busHz/1e6, res.AvgMemLatency*1e9, pred.Latency*1e9, ratio, res.MemRate)
+		// The analytic model must land within 2.5x of the cycle-level
+		// simulator (it omits refresh, tFAW and powerdown-exit effects).
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("%s @%.0f MHz: analytic/detailed latency ratio %.2f outside [0.4, 2.5]",
+				pt.mix, pt.busHz/1e6, ratio)
+		}
+	}
+	// Ranking consistency: ordering by latency must broadly agree —
+	// check the extreme pair.
+	minD, maxD, minA, maxA := 0, 0, 0, 0
+	for i := range detLat {
+		if detLat[i] < detLat[minD] {
+			minD = i
+		}
+		if detLat[i] > detLat[maxD] {
+			maxD = i
+		}
+		if anaLat[i] < anaLat[minA] {
+			minA = i
+		}
+		if anaLat[i] > anaLat[maxA] {
+			maxA = i
+		}
+	}
+	if minD != minA || maxD != maxA {
+		t.Errorf("latency ranking disagrees: detailed extremes (%d,%d), analytic (%d,%d)",
+			minD, maxD, minA, maxA)
+	}
+}
+
+// TestDetailedFrequencyScalingDirection checks the headline DVFS trade-off
+// on the cycle-level substrate: lowering the bus frequency slows
+// memory-bound mixes much more than compute-bound ones.
+func TestDetailedFrequencyScalingDirection(t *testing.T) {
+	slowdown := func(mix string) float64 {
+		hi, err := RunDetailed(DetailedConfig{Mix: workload.MustGet(mix), BusHz: 800e6, BusCycles: 200_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Equal wall time: compare at equal cycles of the SLOW clock.
+		lo, err := RunDetailed(DetailedConfig{Mix: workload.MustGet(mix), BusHz: 206e6, BusCycles: 60_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lo.PerCoreTPI[0] / hi.PerCoreTPI[0]
+	}
+	ilp, mem := slowdown("ILP2"), slowdown("MEM1")
+	t.Logf("206 vs 800 MHz TPI ratio: ILP2 %.2f, MEM1 %.2f", ilp, mem)
+	if mem < ilp {
+		t.Errorf("memory scaling should hurt MEM1 (%.2f) more than ILP2 (%.2f)", mem, ilp)
+	}
+	if ilp > 1.35 {
+		t.Errorf("ILP2 slowdown %.2f too large for a compute-bound mix", ilp)
+	}
+}

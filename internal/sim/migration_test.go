@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"coscale/internal/core"
+	"coscale/internal/workload"
+)
+
+// TestMigrationKeepsBoundPerThread is the §3.3 context-switching claim:
+// with threads migrating across cores every few epochs, per-thread slack
+// bookkeeping must still hold every program's bound.
+func TestMigrationKeepsBoundPerThread(t *testing.T) {
+	baseCfg := Config{Mix: workload.MustGet("MID1"), InstrBudget: 40_000_000, MigrateEvery: 2}
+	base := run(t, baseCfg)
+
+	cfg := Config{Mix: workload.MustGet("MID1"), InstrBudget: 40_000_000, MigrateEvery: 2}
+	cfg.Policy = core.New(cfg.PolicyConfig())
+	res := run(t, cfg)
+
+	worst := maxOf(degradations(t, base, res))
+	save := 1 - res.Energy.Total()/base.Energy.Total()
+	t.Logf("with migration: savings %.1f%%, worst degradation %.2f%%", save*100, worst*100)
+	if worst > 0.10+0.01 {
+		t.Errorf("migration broke the bound: worst %.2f%%", worst*100)
+	}
+	if save < 0.05 {
+		t.Errorf("migration destroyed savings: %.1f%%", save*100)
+	}
+}
+
+// TestMigrationRotatesThreads verifies the observation exposes the rotated
+// assignment and that per-thread results stay attributed to the right app.
+func TestMigrationRotatesThreads(t *testing.T) {
+	cfg := Config{Mix: workload.MustGet("MIX2"), InstrBudget: 30_000_000, MigrateEvery: 1}
+	cap := &capturePolicy{n: 16}
+	cfg.Policy = cap
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.decides) < 3 {
+		t.Fatalf("too few epochs: %d", len(cap.decides))
+	}
+	// Epoch 0: identity. Epoch 1: rotated by one.
+	if cap.decides[0].ThreadIDs[0] != 0 {
+		t.Errorf("epoch 0 mapping not identity: %v", cap.decides[0].ThreadIDs[:4])
+	}
+	if cap.decides[1].ThreadIDs[0] != 15 || cap.decides[1].ThreadIDs[1] != 0 {
+		t.Errorf("epoch 1 mapping not rotated: %v", cap.decides[1].ThreadIDs[:4])
+	}
+	// Per-thread app attribution is stable: thread 0 is milc's first copy.
+	if res.Apps[0].App != "milc" {
+		t.Errorf("thread 0 app = %s, want milc", res.Apps[0].App)
+	}
+	for _, a := range res.Apps {
+		if a.FinishTime <= 0 {
+			t.Errorf("thread %d (%s) never finished", a.Core, a.App)
+		}
+	}
+}
+
+// TestMigrationCostsTime: migrating every epoch must not be free.
+func TestMigrationCostsTime(t *testing.T) {
+	still := run(t, Config{Mix: workload.MustGet("ILP2"), InstrBudget: 30_000_000})
+	moving := run(t, Config{Mix: workload.MustGet("ILP2"), InstrBudget: 30_000_000, MigrateEvery: 1})
+	if moving.WallTime <= still.WallTime {
+		t.Errorf("migration dead time missing: %.5f <= %.5f", moving.WallTime, still.WallTime)
+	}
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"coscale/internal/policy"
+	"coscale/internal/workload"
+)
+
+// capturePolicy records the observations it is given and keeps everything at
+// maximum frequency.
+type capturePolicy struct {
+	decides  []policy.Observation
+	observes []policy.Observation
+	n        int
+}
+
+func (p *capturePolicy) Name() string { return "Capture" }
+func (p *capturePolicy) Decide(obs policy.Observation) policy.Decision {
+	p.decides = append(p.decides, obs)
+	return policy.Decision{CoreSteps: policy.ZeroSteps(p.n), MemStep: 0}
+}
+func (p *capturePolicy) Observe(obs policy.Observation) { p.observes = append(p.observes, obs) }
+
+// TestObservationRoundTrip checks the honest counter path: the statistics a
+// controller derives from profiling-window counters must match the true
+// trace statistics that generated them.
+func TestObservationRoundTrip(t *testing.T) {
+	cfg := Config{Mix: workload.MustGet("MID1"), InstrBudget: 20_000_000}
+	cap := &capturePolicy{n: 16}
+	cfg.Policy = cap
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.decides) == 0 || len(cap.observes) == 0 {
+		t.Fatal("policy never invoked")
+	}
+
+	// Second epoch's profiling observation (first profiles a cold start
+	// but positions are still near zero, so compare against the profile).
+	obs := cap.decides[0]
+	profiles, _ := cfg.Mix.Profiles()
+	for i, p := range profiles {
+		st := p.At(0)
+		co := obs.Cores[i]
+		if co.Instructions == 0 {
+			t.Fatalf("core %d: no instructions profiled", i)
+		}
+		if rel := math.Abs(co.Stats.CPIBase-st.CPIBase) / st.CPIBase; rel > 0.05 {
+			t.Errorf("core %d (%s): observed CPIBase %.3f vs true %.3f", i, p.Name, co.Stats.CPIBase, st.CPIBase)
+		}
+		wantAlpha := st.L2APKI / 1000
+		if rel := math.Abs(co.Stats.Alpha-wantAlpha) / wantAlpha; rel > 0.05 {
+			t.Errorf("core %d (%s): observed alpha %.5f vs true %.5f", i, p.Name, co.Stats.Alpha, wantAlpha)
+		}
+		// StallL2 is the fixed 7.5 ns L2 hit time.
+		if co.Stats.StallL2 < 6e-9 || co.Stats.StallL2 > 9e-9 {
+			t.Errorf("core %d: observed StallL2 %.3g", i, co.Stats.StallL2)
+		}
+		// In-order cores: derived MLP must be ~1.
+		if co.Stats.MLP > 1.15 {
+			t.Errorf("core %d: derived MLP %.2f for an in-order core", i, co.Stats.MLP)
+		}
+	}
+	if obs.MemLatency <= 0 || obs.MemRate <= 0 {
+		t.Errorf("memory aggregates missing: %+v", obs)
+	}
+	if obs.UtilBus <= 0 || obs.UtilBus >= 1 {
+		t.Errorf("UtilBus = %g", obs.UtilBus)
+	}
+}
+
+// TestObservationMLPUnderOoO checks that the counter-derived MLP recovers
+// the profile's memory-level parallelism when the OoO window is on.
+func TestObservationMLPUnderOoO(t *testing.T) {
+	cfg := Config{Mix: workload.MustGet("MEM1"), InstrBudget: 20_000_000, OoO: true}
+	cap := &capturePolicy{n: 16}
+	cfg.Policy = cap
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	profiles, _ := cfg.Mix.Profiles()
+	obs := cap.decides[0]
+	for i, p := range profiles {
+		mlp := obs.Cores[i].Stats.MLP
+		if rel := math.Abs(mlp-p.MLP) / p.MLP; rel > 0.25 {
+			t.Errorf("core %d (%s): derived MLP %.2f vs profile %.2f", i, p.Name, mlp, p.MLP)
+		}
+	}
+}
+
+// TestEpochCadence verifies the control loop's shape: one Decide and one
+// Observe per epoch, profiling windows of the configured length.
+func TestEpochCadence(t *testing.T) {
+	cfg := Config{Mix: workload.MustGet("ILP2"), InstrBudget: 20_000_000,
+		ProfileLen: 250 * time.Microsecond}
+	cap := &capturePolicy{n: 16}
+	cfg.Policy = cap
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.decides) != res.Epochs || len(cap.observes) != res.Epochs {
+		t.Errorf("decides %d, observes %d, epochs %d", len(cap.decides), len(cap.observes), res.Epochs)
+	}
+	for k, obs := range cap.decides {
+		if math.Abs(obs.Window-250e-6) > 1e-9 {
+			t.Errorf("epoch %d: profiling window %.3g, want 250 µs", k, obs.Window)
+		}
+	}
+	// All epochs except the last (truncated at workload termination) span
+	// the full 5 ms plus transition dead time.
+	for k, obs := range cap.observes[:len(cap.observes)-1] {
+		if obs.Window < 4.9e-3 || obs.Window > 5.3e-3 {
+			t.Errorf("epoch %d: epoch window %.4g, want ≈5 ms", k, obs.Window)
+		}
+	}
+}
+
+// badPolicy returns out-of-range steps; the engine must clamp them.
+type badPolicy struct{ n int }
+
+func (p *badPolicy) Name() string { return "Bad" }
+func (p *badPolicy) Decide(policy.Observation) policy.Decision {
+	steps := make([]int, p.n)
+	for i := range steps {
+		steps[i] = 99
+	}
+	return policy.Decision{CoreSteps: steps, MemStep: -7}
+}
+func (p *badPolicy) Observe(policy.Observation) {}
+
+func TestEngineClampsWildDecisions(t *testing.T) {
+	cfg := Config{Mix: workload.MustGet("ILP2"), InstrBudget: 10_000_000, RecordTimeline: true}
+	cfg.Policy = &badPolicy{n: 16}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Timeline {
+		if rec.MemHz != 800e6 {
+			t.Errorf("MemStep -7 not clamped to max: %g", rec.MemHz)
+		}
+		for _, hz := range rec.CoreHz {
+			if hz < 2.2e9-1 {
+				t.Errorf("core step 99 not clamped to ladder bottom: %g", hz)
+			}
+		}
+	}
+}
+
+// stuckPolicy drives everything to minimum to test MaxEpochs enforcement
+// with an absurdly small cap.
+func TestMaxEpochsExceeded(t *testing.T) {
+	cfg := Config{Mix: workload.MustGet("MEM1"), InstrBudget: 100_000_000, MaxEpochs: 2}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err == nil {
+		t.Error("MaxEpochs=2 run reported success")
+	}
+}
+
+func TestPrefetchAndOoOCombine(t *testing.T) {
+	cfg := Config{Mix: workload.MustGet("MEM2"), InstrBudget: 20_000_000, Prefetch: true, OoO: true}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(Config{Mix: workload.MustGet("MEM2"), InstrBudget: 20_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallTime >= pres.WallTime {
+		t.Errorf("prefetch+OoO (%.4fs) should beat plain in-order (%.4fs)", res.WallTime, pres.WallTime)
+	}
+}
+
+func TestEnergyBreakdownConsistent(t *testing.T) {
+	res := run(t, testConfig(t, "MID3"))
+	e := res.Energy
+	sum := e.CPU + e.L2 + e.Mem + e.Rest
+	if math.Abs(sum-e.Total())/e.Total() > 1e-12 {
+		t.Errorf("Total() %.6g != component sum %.6g", e.Total(), sum)
+	}
+	// The baseline split should sit near the calibrated 60/30/10.
+	cpuFrac := (e.CPU + e.L2) / e.Total()
+	if cpuFrac < 0.40 || cpuFrac > 0.75 {
+		t.Errorf("baseline CPU fraction %.2f far from calibration", cpuFrac)
+	}
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Error("different seeds produced identical first values")
+	}
+}
+
+func TestRandFloatRange(t *testing.T) {
+	r := NewRand(99)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g outside [0,1)", f)
+		}
+	}
+	if NewRand(1).Intn(0) != 0 {
+		t.Error("Intn(0) != 0")
+	}
+}
+
+func TestGeneratorGapMatchesAPKI(t *testing.T) {
+	p := MustLookup("swim") // L2APKI 40 -> mean gap 25 instructions
+	g := NewGenerator(p, 0, 1_000_000, 1)
+	var instr, accesses uint64
+	for accesses = 0; accesses < 20000; accesses++ {
+		a := g.Next()
+		instr += a.Gap
+	}
+	apki := 1000 * float64(accesses) / float64(instr)
+	// swim's phases modulate APKI (mean multiplier 1.0), so the long-run
+	// average should land near the profile value.
+	if math.Abs(apki-p.L2APKI)/p.L2APKI > 0.15 {
+		t.Errorf("generated APKI %.1f, profile %.1f", apki, p.L2APKI)
+	}
+}
+
+func TestGeneratorAddressesWithinFootprint(t *testing.T) {
+	p := MustLookup("milc")
+	g := NewGenerator(p, 3, 1_000_000, 1)
+	base := uint64(3) * GeneratorRegionBytes
+	for i := 0; i < 10000; i++ {
+		a := g.Next()
+		if a.Addr < base || a.Addr >= base+g.Footprint() {
+			t.Fatalf("address %#x outside region [%#x, %#x)", a.Addr, base, base+g.Footprint())
+		}
+		if a.Addr%64 != 0 {
+			t.Fatalf("address %#x not block aligned", a.Addr)
+		}
+	}
+}
+
+func TestGeneratorSequentialLocality(t *testing.T) {
+	// swim (RowLocality 0.8) must produce many sequential-block pairs;
+	// twolf (0.45) far fewer.
+	seq := func(name string) float64 {
+		g := NewGenerator(MustLookup(name), 0, 1_000_000, 5)
+		prev := uint64(0)
+		hits, n := 0, 20000
+		for i := 0; i < n; i++ {
+			a := g.Next()
+			if prev != 0 && a.Addr == prev+64 {
+				hits++
+			}
+			prev = a.Addr
+		}
+		return float64(hits) / float64(n)
+	}
+	if s, tw := seq("swim"), seq("twolf"); s <= tw {
+		t.Errorf("swim sequentiality %.2f should exceed twolf %.2f", s, tw)
+	}
+}
+
+func TestGeneratorDeterministicPerSeed(t *testing.T) {
+	p := MustLookup("gcc")
+	a := NewGenerator(p, 1, 1000, 7)
+	b := NewGenerator(p, 1, 1000, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewGenerator(p, 2, 1000, 7) // different core
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Next().Gap != c.Next().Gap {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different cores produced identical gap streams")
+	}
+}
+
+func TestGeneratorPhaseModulation(t *testing.T) {
+	// milc: phase 1 (first 45%) has 0.5x memory intensity; final phase
+	// 1.55x. Gaps must shrink accordingly.
+	p := MustLookup("milc")
+	budget := uint64(100000)
+	g := NewGenerator(p, 0, budget, 3)
+	var early, late float64
+	var earlyN, lateN int
+	for g.Done() < budget {
+		frac := float64(g.Done()) / float64(budget)
+		a := g.Next()
+		if frac < 0.4 {
+			early += float64(a.Gap)
+			earlyN++
+		} else if frac > 0.65 && frac < 0.95 {
+			late += float64(a.Gap)
+			lateN++
+		}
+	}
+	if earlyN == 0 || lateN == 0 {
+		t.Fatal("phases not sampled")
+	}
+	if early/float64(earlyN) <= late/float64(lateN) {
+		t.Errorf("early gaps (%.1f) should exceed late gaps (%.1f)",
+			early/float64(earlyN), late/float64(lateN))
+	}
+}
+
+func TestGeneratorFootprintBounds(t *testing.T) {
+	for _, n := range Names() {
+		g := NewGenerator(MustLookup(n), 0, 1000, 1)
+		fp := g.Footprint()
+		if fp < 256*1024 || fp > 64*1024*1024 {
+			t.Errorf("%s: footprint %d outside [256KB, 64MB]", n, fp)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package trace provides the synthetic application substrate that stands in
+// for the paper's M5-collected SPEC 2000/2006 traces (see DESIGN.md §1).
+//
+// Each SPEC program named in Table 1 is described by an AppProfile: a
+// phase-annotated statistical profile (base CPI, L1-miss/L2-access rate,
+// shared-cache miss-rate curve, writeback ratio, instruction mix, intrinsic
+// memory-level parallelism, prefetcher friendliness). Profiles are consumed
+// two ways:
+//
+//   - The fast epoch backend samples per-epoch statistics directly from the
+//     profile (Stats/At).
+//   - The detailed backend expands a profile into an address-level
+//     instruction stream (Generator, see generator.go) that is replayed
+//     through the cycle-level cache and DRAM simulators.
+//
+// The miss-rate curves are tuned so that the 16 workload mixes reproduce
+// Table 1's per-mix MPKI under the shared-LLC contention model in
+// internal/cache; they are calibrated stand-ins, not microarchitectural
+// models of the real SPEC programs.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Class labels the behavioural class a program belongs to (Table 1 grouping).
+type Class int
+
+// Behavioural classes.
+const (
+	ILP Class = iota // compute-intensive
+	MID              // compute-memory balanced
+	MEM              // memory-intensive
+	MIX              // extra SPEC 2006 apps that appear only in MIX-class mixes
+)
+
+// String returns the class name as used in the paper.
+func (c Class) String() string {
+	switch c {
+	case ILP:
+		return "ILP"
+	case MID:
+		return "MID"
+	case MEM:
+		return "MEM"
+	case MIX:
+		return "MIX"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// MRC is a shared-cache miss-rate curve: LLC misses per kilo-instruction as
+// a function of the cache share (in MB) the program's copy holds. The curve
+// is the power law mpki(s) = A * s^-K, clamped below by Min and above by the
+// program's L2 access rate (a program cannot miss more often than it
+// accesses).
+type MRC struct {
+	A   float64 // MPKI at a 1 MB share
+	K   float64 // steepness; 0 means share-independent
+	Min float64 // floor (capacity-insensitive compulsory misses)
+}
+
+// MPKI evaluates the curve at a cache share of s MB, clamped to
+// [Min, maxAPKI].
+func (m MRC) MPKI(s, maxAPKI float64) float64 {
+	if s <= 0 {
+		return maxAPKI
+	}
+	v := m.A
+	if m.K != 0 {
+		v = m.A * math.Pow(s, -m.K)
+	}
+	if v < m.Min {
+		v = m.Min
+	}
+	if v > maxAPKI {
+		v = maxAPKI
+	}
+	return v
+}
+
+// InstrMix is the committed-instruction class breakdown feeding the four
+// Core Activity Counters. Fractions must sum to <= 1; the remainder is
+// treated as simple integer/move work counted with ALU energy.
+type InstrMix struct {
+	ALU       float64
+	FPU       float64
+	Branch    float64
+	LoadStore float64
+}
+
+// Sum returns the total of the four fractions.
+func (m InstrMix) Sum() float64 { return m.ALU + m.FPU + m.Branch + m.LoadStore }
+
+// Phase describes one execution phase. Phases partition the program's
+// instruction stream: a phase is active for instruction fractions in
+// [previous Until, Until). Multipliers scale the profile's mean memory
+// intensity and base CPI during the phase.
+type Phase struct {
+	Until   float64 // end of phase as fraction of total instructions, (0,1]
+	MemMult float64 // multiplier on L2APKI and MPKI
+	CPIMult float64 // multiplier on CPIBase
+}
+
+// AppProfile is the statistical description of one application.
+type AppProfile struct {
+	Name  string
+	Class Class
+
+	// CPIBase is core cycles per instruction spent computing (including
+	// L1 hits), independent of clock frequency in cycle terms.
+	CPIBase float64
+
+	// L2APKI is L2 accesses (L1 load/store misses) per kilo-instruction.
+	L2APKI float64
+
+	// MRC gives LLC misses per kilo-instruction versus cache share.
+	MRC MRC
+
+	// DirtyFrac is the fraction of LLC misses whose evicted victim is
+	// dirty, i.e. WPKI = DirtyFrac * MPKI.
+	DirtyFrac float64
+
+	// Mix is the committed instruction class breakdown.
+	Mix InstrMix
+
+	// MLP is the program's intrinsic memory-level parallelism when run on
+	// the 128-instruction-window OoO configuration (≥1; 1 = no overlap).
+	MLP float64
+
+	// PrefetchCoverage is the fraction of demand LLC misses a next-line
+	// prefetcher eliminates; PrefetchAccuracy is useful/issued prefetches.
+	PrefetchCoverage float64
+	PrefetchAccuracy float64
+
+	// Phases modulate intensity over the run. Empty means one flat phase.
+	Phases []Phase
+
+	// RowLocality is the probability that consecutive memory accesses
+	// fall in the same DRAM row (used by the detailed address generator).
+	RowLocality float64
+}
+
+// Stats is the profile as seen at one instant of execution: the phase
+// multipliers applied to the profile means. All rates are per-instruction or
+// per-kilo-instruction; MPKI still depends on the cache share via MRCAt.
+type Stats struct {
+	CPIBase   float64
+	L2APKI    float64
+	MemMult   float64 // phase multiplier also applied to the MRC
+	DirtyFrac float64
+	Mix       InstrMix
+	MLP       float64
+}
+
+// At returns the profile statistics in effect at the given instruction
+// fraction frac in [0,1].
+func (p *AppProfile) At(frac float64) Stats {
+	mem, cpi := 1.0, 1.0
+	if len(p.Phases) > 0 {
+		ph := p.Phases[len(p.Phases)-1] // frac >= last boundary stays in final phase
+		for _, q := range p.Phases {
+			if frac < q.Until {
+				ph = q
+				break
+			}
+		}
+		mem, cpi = ph.MemMult, ph.CPIMult
+	}
+	return Stats{
+		CPIBase:   p.CPIBase * cpi,
+		L2APKI:    p.L2APKI * mem,
+		MemMult:   mem,
+		DirtyFrac: p.DirtyFrac,
+		Mix:       p.Mix,
+		MLP:       p.MLP,
+	}
+}
+
+// MPKIAt evaluates the miss-rate curve at cache share s MB for the phase in
+// effect at instruction fraction frac.
+func (p *AppProfile) MPKIAt(frac, s float64) float64 {
+	st := p.At(frac)
+	return p.MRC.MPKI(s, p.L2APKI) * st.MemMult
+}
+
+// Validate checks structural invariants of the profile.
+func (p *AppProfile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("trace: profile with empty name")
+	}
+	if p.CPIBase <= 0 {
+		return fmt.Errorf("trace: %s: CPIBase must be positive", p.Name)
+	}
+	if p.L2APKI < 0 || p.MRC.A < 0 || p.MRC.Min < 0 {
+		return fmt.Errorf("trace: %s: negative rate", p.Name)
+	}
+	if p.MRC.A > p.L2APKI*1.001 && p.MRC.K == 0 {
+		return fmt.Errorf("trace: %s: constant MPKI %.3f exceeds L2APKI %.3f", p.Name, p.MRC.A, p.L2APKI)
+	}
+	if p.DirtyFrac < 0 || p.DirtyFrac > 1 {
+		return fmt.Errorf("trace: %s: DirtyFrac %.3f outside [0,1]", p.Name, p.DirtyFrac)
+	}
+	if s := p.Mix.Sum(); s < 0 || s > 1.0001 {
+		return fmt.Errorf("trace: %s: instruction mix sums to %.3f", p.Name, s)
+	}
+	if p.MLP < 1 {
+		return fmt.Errorf("trace: %s: MLP %.3f < 1", p.Name, p.MLP)
+	}
+	if p.PrefetchCoverage < 0 || p.PrefetchCoverage > 1 || p.PrefetchAccuracy < 0 || p.PrefetchAccuracy > 1 {
+		return fmt.Errorf("trace: %s: prefetch parameters outside [0,1]", p.Name)
+	}
+	if p.PrefetchCoverage > 0 && p.PrefetchAccuracy == 0 {
+		return fmt.Errorf("trace: %s: nonzero coverage with zero accuracy", p.Name)
+	}
+	prev := 0.0
+	for i, ph := range p.Phases {
+		if ph.Until <= prev || ph.Until > 1.0001 {
+			return fmt.Errorf("trace: %s: phase %d boundary %.3f not increasing in (0,1]", p.Name, i, ph.Until)
+		}
+		if ph.MemMult < 0 || ph.CPIMult <= 0 {
+			return fmt.Errorf("trace: %s: phase %d has invalid multipliers", p.Name, i)
+		}
+		prev = ph.Until
+	}
+	if len(p.Phases) > 0 && math.Abs(prev-1.0) > 1e-9 {
+		return fmt.Errorf("trace: %s: last phase ends at %.3f, want 1.0", p.Name, prev)
+	}
+	if p.RowLocality < 0 || p.RowLocality > 1 {
+		return fmt.Errorf("trace: %s: RowLocality outside [0,1]", p.Name)
+	}
+	return nil
+}
+
+// Lookup returns the registered profile for a SPEC program name.
+func Lookup(name string) (*AppProfile, error) {
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown application %q", name)
+	}
+	return p, nil
+}
+
+// MustLookup is Lookup for statically known names; it panics on failure.
+func MustLookup(name string) *AppProfile {
+	p, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns all registered application names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

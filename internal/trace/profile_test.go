@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// All 27 applications named in Table 1 must be registered.
+	wanted := []string{
+		"vortex", "gcc", "sixtrack", "mesa", "perlbmk", "crafty", "gzip", "eon",
+		"ammp", "gap", "wupwise", "vpr", "apsi", "bzip2", "astar", "parser", "twolf", "facerec",
+		"swim", "applu", "galgel", "equake", "fma3d", "mgrid", "art", "milc", "sphinx3", "lucas",
+		"hmmer", "sjeng", "gobmk",
+	}
+	for _, n := range wanted {
+		if _, err := Lookup(n); err != nil {
+			t.Errorf("Lookup(%q): %v", n, err)
+		}
+	}
+	if len(Names()) != len(wanted) {
+		t.Errorf("registry has %d apps, want %d", len(Names()), len(wanted))
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("notaspec"); err == nil {
+		t.Error("Lookup(notaspec) succeeded, want error")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup(unknown) did not panic")
+		}
+	}()
+	MustLookup("notaspec")
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, n := range Names() {
+		if err := MustLookup(n).Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestMRCMonotonic(t *testing.T) {
+	// Miss rate must be non-increasing in cache share for every app.
+	for _, n := range Names() {
+		p := MustLookup(n)
+		prev := math.Inf(1)
+		for s := 0.25; s <= 16; s += 0.25 {
+			v := p.MRC.MPKI(s, p.L2APKI)
+			if v > prev+1e-12 {
+				t.Errorf("%s: MPKI increases at share %.2f MB", n, s)
+			}
+			if v < 0 {
+				t.Errorf("%s: negative MPKI at share %.2f MB", n, s)
+			}
+			if v > p.L2APKI {
+				t.Errorf("%s: MPKI %.2f exceeds L2APKI %.2f", n, v, p.L2APKI)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestMRCClamps(t *testing.T) {
+	m := MRC{A: 100, K: 1, Min: 2}
+	if got := m.MPKI(0, 50); got != 50 {
+		t.Errorf("MPKI(0) = %g, want clamp to max 50", got)
+	}
+	if got := m.MPKI(1000, 50); got != 2 {
+		t.Errorf("MPKI(1000) = %g, want floor 2", got)
+	}
+	if got := m.MPKI(1, 50); got != 50 {
+		t.Errorf("MPKI(1) = %g, want 50 (A above max)", got)
+	}
+	flat := MRC{A: 3}
+	if got := flat.MPKI(0.1, 50); got != 3 {
+		t.Errorf("flat MPKI = %g, want 3", got)
+	}
+}
+
+func TestPhaseSelection(t *testing.T) {
+	milc := MustLookup("milc")
+	early := milc.At(0.1)
+	mid := milc.At(0.5)
+	late := milc.At(0.9)
+	if !(early.L2APKI < mid.L2APKI && mid.L2APKI < late.L2APKI) {
+		t.Errorf("milc phases not increasing in memory intensity: %.2f %.2f %.2f",
+			early.L2APKI, mid.L2APKI, late.L2APKI)
+	}
+	// Exactly at a boundary, the next phase applies.
+	atBoundary := milc.At(0.45)
+	if atBoundary.MemMult != 1.0 {
+		t.Errorf("At(0.45).MemMult = %g, want middle phase 1.0", atBoundary.MemMult)
+	}
+	// Past 1.0 stays in final phase.
+	if got := milc.At(1.5); got.MemMult != 1.55 {
+		t.Errorf("At(1.5).MemMult = %g, want final phase 1.55", got.MemMult)
+	}
+}
+
+func TestFlatProfilePhases(t *testing.T) {
+	p := MustLookup("vortex") // no phases
+	for _, f := range []float64{0, 0.3, 0.99} {
+		st := p.At(f)
+		if st.L2APKI != p.L2APKI || st.CPIBase != p.CPIBase {
+			t.Errorf("flat profile changed at frac %.2f", f)
+		}
+	}
+}
+
+// TestPhaseMeansNearUnity checks that phase multipliers average to ~1 over
+// the run so Table 1 whole-run statistics are preserved.
+func TestPhaseMeansNearUnity(t *testing.T) {
+	for _, n := range Names() {
+		p := MustLookup(n)
+		if len(p.Phases) == 0 {
+			continue
+		}
+		mean, prev := 0.0, 0.0
+		for _, ph := range p.Phases {
+			mean += (ph.Until - prev) * ph.MemMult
+			prev = ph.Until
+		}
+		if math.Abs(mean-1.0) > 0.06 {
+			t.Errorf("%s: mean phase MemMult = %.3f, want ~1.0", n, mean)
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	good := func() *AppProfile {
+		return &AppProfile{Name: "x", CPIBase: 1, L2APKI: 10, MRC: MRC{A: 2}, MLP: 1,
+			PrefetchAccuracy: 0.5, Mix: InstrMix{ALU: 0.5}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*AppProfile)
+	}{
+		{"empty name", func(p *AppProfile) { p.Name = "" }},
+		{"zero CPI", func(p *AppProfile) { p.CPIBase = 0 }},
+		{"negative APKI", func(p *AppProfile) { p.L2APKI = -1 }},
+		{"dirty > 1", func(p *AppProfile) { p.DirtyFrac = 1.5 }},
+		{"mix > 1", func(p *AppProfile) { p.Mix = InstrMix{ALU: 0.9, FPU: 0.9} }},
+		{"MLP < 1", func(p *AppProfile) { p.MLP = 0.5 }},
+		{"coverage w/o accuracy", func(p *AppProfile) { p.PrefetchCoverage = 0.5; p.PrefetchAccuracy = 0 }},
+		{"phase not increasing", func(p *AppProfile) {
+			p.Phases = []Phase{{Until: 0.5, MemMult: 1, CPIMult: 1}, {Until: 0.4, MemMult: 1, CPIMult: 1}}
+		}},
+		{"phases not ending at 1", func(p *AppProfile) {
+			p.Phases = []Phase{{Until: 0.5, MemMult: 1, CPIMult: 1}}
+		}},
+		{"bad row locality", func(p *AppProfile) { p.RowLocality = 2 }},
+		{"constant MPKI above APKI", func(p *AppProfile) { p.MRC = MRC{A: 50} }},
+	}
+	for _, c := range cases {
+		p := good()
+		c.mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", c.name)
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Errorf("baseline profile invalid: %v", err)
+	}
+}
+
+// Property: At(frac) never returns negative rates for any registered app.
+func TestAtProperty(t *testing.T) {
+	apps := Names()
+	f := func(fracRaw uint16, appIdx uint8) bool {
+		frac := float64(fracRaw) / 65535.0
+		p := MustLookup(apps[int(appIdx)%len(apps)])
+		st := p.At(frac)
+		return st.CPIBase > 0 && st.L2APKI >= 0 && st.MLP >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ILP.String() != "ILP" || MID.String() != "MID" || MEM.String() != "MEM" || MIX.String() != "MIX" {
+		t.Error("class names wrong")
+	}
+	if Class(9).String() != "Class(9)" {
+		t.Error("unknown class formatting wrong")
+	}
+}

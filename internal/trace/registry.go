@@ -1,0 +1,144 @@
+package trace
+
+// The application registry. Each entry is a synthetic stand-in for the SPEC
+// 2000/2006 program of the same name, calibrated (jointly with the shared-LLC
+// contention model in internal/cache) so that the 16 Table 1 mixes reproduce
+// the paper's per-mix MPKI. Miss-rate-curve steepness (MRC.K) is what lets
+// the same program look memory-bound in a MEM mix (small cache share) and
+// moderate in a MIX mix (large share) — the reconciliation for programs like
+// swim that appear in both MEM1/MEM4 (MPKI 15-18) and MIX4 (MPKI 2.35).
+//
+// Instruction mixes, MLP and prefetcher parameters are set per behavioural
+// class so that the OoO (Fig. 17-18) and prefetching (Fig. 16) studies land
+// near the paper's class-level aggregates.
+
+func fpMix(ls float64) InstrMix  { return InstrMix{ALU: 0.26, FPU: 0.30, Branch: 0.10, LoadStore: ls} }
+func intMix(ls float64) InstrMix { return InstrMix{ALU: 0.40, FPU: 0.02, Branch: 0.18, LoadStore: ls} }
+
+var registry = map[string]*AppProfile{}
+
+func register(p *AppProfile) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[p.Name]; dup {
+		panic("trace: duplicate profile " + p.Name)
+	}
+	registry[p.Name] = p
+}
+
+func init() {
+	// --- ILP class: compute-intensive SPEC 2000 integer/FP codes. Small
+	// working sets: miss rate is share-independent (K=0).
+	register(&AppProfile{Name: "vortex", Class: ILP, CPIBase: 1.15, L2APKI: 3.0,
+		MRC: MRC{A: 0.34, Min: 0.05}, DirtyFrac: 0.09, Mix: intMix(0.28),
+		MLP: 1.2, PrefetchCoverage: 0.25, PrefetchAccuracy: 0.95, RowLocality: 0.55})
+	register(&AppProfile{Name: "gcc", Class: ILP, CPIBase: 1.25, L2APKI: 4.0,
+		MRC: MRC{A: 0.52, Min: 0.05}, DirtyFrac: 0.04, Mix: intMix(0.30),
+		MLP: 1.3, PrefetchCoverage: 0.28, PrefetchAccuracy: 0.90, RowLocality: 0.50,
+		Phases: []Phase{{Until: 0.5, MemMult: 1.25, CPIMult: 1.05}, {Until: 1.0, MemMult: 0.75, CPIMult: 0.95}}})
+	register(&AppProfile{Name: "sixtrack", Class: ILP, CPIBase: 1.05, L2APKI: 2.5,
+		MRC: MRC{A: 0.42, Min: 0.05}, DirtyFrac: 0.36, Mix: fpMix(0.26),
+		MLP: 1.3, PrefetchCoverage: 0.30, PrefetchAccuracy: 0.98, RowLocality: 0.70})
+	register(&AppProfile{Name: "mesa", Class: ILP, CPIBase: 1.10, L2APKI: 2.0,
+		MRC: MRC{A: 0.20, Min: 0.03}, DirtyFrac: 0.20, Mix: fpMix(0.28),
+		MLP: 1.2, PrefetchCoverage: 0.25, PrefetchAccuracy: 0.95, RowLocality: 0.60})
+	register(&AppProfile{Name: "perlbmk", Class: ILP, CPIBase: 1.20, L2APKI: 3.0,
+		MRC: MRC{A: 0.30, Min: 0.05}, DirtyFrac: 0.17, Mix: intMix(0.30),
+		MLP: 1.2, PrefetchCoverage: 0.25, PrefetchAccuracy: 0.92, RowLocality: 0.50})
+	register(&AppProfile{Name: "crafty", Class: ILP, CPIBase: 1.15, L2APKI: 2.0,
+		MRC: MRC{A: 0.16, Min: 0.03}, DirtyFrac: 0.25, Mix: intMix(0.26),
+		MLP: 1.1, PrefetchCoverage: 0.22, PrefetchAccuracy: 0.90, RowLocality: 0.45})
+	register(&AppProfile{Name: "gzip", Class: ILP, CPIBase: 1.10, L2APKI: 3.0,
+		MRC: MRC{A: 0.12, Min: 0.02}, DirtyFrac: 0.17, Mix: intMix(0.32),
+		MLP: 1.2, PrefetchCoverage: 0.30, PrefetchAccuracy: 0.95, RowLocality: 0.65})
+	register(&AppProfile{Name: "eon", Class: ILP, CPIBase: 1.05, L2APKI: 1.5,
+		MRC: MRC{A: 0.06, Min: 0.01}, DirtyFrac: 0.17, Mix: fpMix(0.30),
+		MLP: 1.1, PrefetchCoverage: 0.20, PrefetchAccuracy: 0.92, RowLocality: 0.55})
+
+	// --- MID class: compute-memory balanced.
+	register(&AppProfile{Name: "ammp", Class: MID, CPIBase: 1.30, L2APKI: 8.0,
+		MRC: MRC{A: 2.2, K: 0.12, Min: 0.8}, DirtyFrac: 0.59, Mix: fpMix(0.30),
+		MLP: 2.2, PrefetchCoverage: 0.35, PrefetchAccuracy: 0.78, RowLocality: 0.55})
+	register(&AppProfile{Name: "gap", Class: MID, CPIBase: 1.25, L2APKI: 6.0,
+		MRC: MRC{A: 1.4, K: 0.10, Min: 0.5}, DirtyFrac: 0.61, Mix: intMix(0.28),
+		MLP: 2.0, PrefetchCoverage: 0.35, PrefetchAccuracy: 0.75, RowLocality: 0.55})
+	register(&AppProfile{Name: "wupwise", Class: MID, CPIBase: 1.20, L2APKI: 7.0,
+		MRC: MRC{A: 1.5, K: 0.10, Min: 0.5}, DirtyFrac: 0.27, Mix: fpMix(0.30),
+		MLP: 2.5, PrefetchCoverage: 0.40, PrefetchAccuracy: 0.82, RowLocality: 0.65})
+	register(&AppProfile{Name: "vpr", Class: MID, CPIBase: 1.35, L2APKI: 8.0,
+		MRC: MRC{A: 1.94, K: 0.12, Min: 0.7}, DirtyFrac: 0.21, Mix: intMix(0.30),
+		MLP: 1.8, PrefetchCoverage: 0.32, PrefetchAccuracy: 0.72, RowLocality: 0.50,
+		Phases: []Phase{{Until: 0.6, MemMult: 0.85, CPIMult: 1.0}, {Until: 1.0, MemMult: 1.22, CPIMult: 1.0}}})
+	register(&AppProfile{Name: "apsi", Class: MID, CPIBase: 1.25, L2APKI: 5.0,
+		MRC: MRC{A: 0.15, Min: 0.05}, DirtyFrac: 0.60, Mix: fpMix(0.28),
+		MLP: 2.0, PrefetchCoverage: 0.35, PrefetchAccuracy: 0.80, RowLocality: 0.60})
+	register(&AppProfile{Name: "bzip2", Class: MID, CPIBase: 1.20, L2APKI: 6.0,
+		MRC: MRC{A: 0.10, Min: 0.03}, DirtyFrac: 0.67, Mix: intMix(0.30),
+		MLP: 1.8, PrefetchCoverage: 0.35, PrefetchAccuracy: 0.80, RowLocality: 0.60})
+	register(&AppProfile{Name: "astar", Class: MID, CPIBase: 1.40, L2APKI: 9.0,
+		MRC: MRC{A: 2.8, K: 0.12, Min: 1.0}, DirtyFrac: 0.54, Mix: intMix(0.30),
+		MLP: 1.8, PrefetchCoverage: 0.30, PrefetchAccuracy: 0.70, RowLocality: 0.45,
+		Phases: []Phase{{Until: 0.4, MemMult: 1.2, CPIMult: 1.0}, {Until: 1.0, MemMult: 0.87, CPIMult: 1.0}}})
+	register(&AppProfile{Name: "parser", Class: MID, CPIBase: 1.30, L2APKI: 8.0,
+		MRC: MRC{A: 2.28, K: 0.12, Min: 0.8}, DirtyFrac: 0.57, Mix: intMix(0.28),
+		MLP: 1.9, PrefetchCoverage: 0.32, PrefetchAccuracy: 0.74, RowLocality: 0.50})
+	register(&AppProfile{Name: "twolf", Class: MID, CPIBase: 1.35, L2APKI: 7.0,
+		MRC: MRC{A: 2.4, K: 0.12, Min: 0.9}, DirtyFrac: 0.19, Mix: intMix(0.28),
+		MLP: 1.8, PrefetchCoverage: 0.30, PrefetchAccuracy: 0.70, RowLocality: 0.45})
+	register(&AppProfile{Name: "facerec", Class: MID, CPIBase: 1.25, L2APKI: 9.0,
+		MRC: MRC{A: 2.96, K: 0.12, Min: 1.0}, DirtyFrac: 0.11, Mix: fpMix(0.30),
+		MLP: 2.4, PrefetchCoverage: 0.40, PrefetchAccuracy: 0.82, RowLocality: 0.65,
+		Phases: []Phase{{Until: 0.35, MemMult: 0.88, CPIMult: 1.0}, {Until: 0.55, MemMult: 1.60, CPIMult: 1.0}, {Until: 1.0, MemMult: 0.84, CPIMult: 1.0}}})
+
+	// --- MEM class: memory-intensive. Steep miss-rate curves: these
+	// programs are capacity-starved at the ~1 MB shares they get in MEM
+	// mixes but settle down at the ~3 MB shares they get in MIX mixes.
+	register(&AppProfile{Name: "swim", Class: MEM, CPIBase: 1.40, L2APKI: 40,
+		MRC: MRC{A: 12.8, K: 1.05, Min: 2.0}, DirtyFrac: 0.30, Mix: fpMix(0.34),
+		MLP: 6.0, PrefetchCoverage: 0.70, PrefetchAccuracy: 0.72, RowLocality: 0.80,
+		Phases: []Phase{{Until: 0.3, MemMult: 1.2, CPIMult: 1.0}, {Until: 1.0, MemMult: 0.914, CPIMult: 1.0}}})
+	register(&AppProfile{Name: "applu", Class: MEM, CPIBase: 1.35, L2APKI: 35,
+		MRC: MRC{A: 32.5, K: 1.2, Min: 2.5}, DirtyFrac: 0.95, Mix: fpMix(0.34),
+		MLP: 5.0, PrefetchCoverage: 0.65, PrefetchAccuracy: 0.70, RowLocality: 0.80})
+	register(&AppProfile{Name: "galgel", Class: MEM, CPIBase: 1.30, L2APKI: 28,
+		MRC: MRC{A: 4.07, K: 1.0, Min: 1.0}, DirtyFrac: 0.10, Mix: fpMix(0.32),
+		MLP: 4.0, PrefetchCoverage: 0.60, PrefetchAccuracy: 0.65, RowLocality: 0.70})
+	register(&AppProfile{Name: "equake", Class: MEM, CPIBase: 1.45, L2APKI: 30,
+		MRC: MRC{A: 23.5, K: 1.2, Min: 2.0}, DirtyFrac: 0.05, Mix: fpMix(0.34),
+		MLP: 4.5, PrefetchCoverage: 0.60, PrefetchAccuracy: 0.60, RowLocality: 0.70,
+		Phases: []Phase{{Until: 0.5, MemMult: 0.85, CPIMult: 1.0}, {Until: 1.0, MemMult: 1.15, CPIMult: 1.0}}})
+	register(&AppProfile{Name: "fma3d", Class: MEM, CPIBase: 1.35, L2APKI: 20,
+		MRC: MRC{A: 3.5, K: 0.8, Min: 1.0}, DirtyFrac: 0.80, Mix: fpMix(0.32),
+		MLP: 3.0, PrefetchCoverage: 0.50, PrefetchAccuracy: 0.60, RowLocality: 0.60})
+	register(&AppProfile{Name: "mgrid", Class: MEM, CPIBase: 1.30, L2APKI: 22,
+		MRC: MRC{A: 4.5, K: 0.8, Min: 1.2}, DirtyFrac: 0.80, Mix: fpMix(0.34),
+		MLP: 4.0, PrefetchCoverage: 0.60, PrefetchAccuracy: 0.72, RowLocality: 0.80})
+	register(&AppProfile{Name: "art", Class: MEM, CPIBase: 1.40, L2APKI: 33,
+		MRC: MRC{A: 12.1, K: 1.2, Min: 1.5}, DirtyFrac: 0.13, Mix: fpMix(0.34),
+		MLP: 4.0, PrefetchCoverage: 0.55, PrefetchAccuracy: 0.55, RowLocality: 0.55})
+	register(&AppProfile{Name: "milc", Class: MEM, CPIBase: 1.35, L2APKI: 30,
+		MRC: MRC{A: 14.0, K: 1.0, Min: 1.2}, DirtyFrac: 0.10, Mix: fpMix(0.34),
+		MLP: 4.0, PrefetchCoverage: 0.55, PrefetchAccuracy: 0.60, RowLocality: 0.60,
+		// The three milc phases of Figure 7: low memory traffic, a brief
+		// middle phase, then strongly memory-bound. Means stay at 1.0 so
+		// the Table 1 whole-run MPKI is preserved.
+		Phases: []Phase{{Until: 0.45, MemMult: 0.50, CPIMult: 1.0}, {Until: 0.60, MemMult: 1.00, CPIMult: 1.0}, {Until: 1.0, MemMult: 1.55, CPIMult: 0.97}}})
+	register(&AppProfile{Name: "sphinx3", Class: MEM, CPIBase: 1.30, L2APKI: 25,
+		MRC: MRC{A: 9.7, K: 1.0, Min: 1.2}, DirtyFrac: 0.05, Mix: fpMix(0.32),
+		MLP: 3.5, PrefetchCoverage: 0.60, PrefetchAccuracy: 0.65, RowLocality: 0.60})
+	register(&AppProfile{Name: "lucas", Class: MEM, CPIBase: 1.30, L2APKI: 24,
+		MRC: MRC{A: 8.0, K: 1.0, Min: 1.0}, DirtyFrac: 0.05, Mix: fpMix(0.32),
+		MLP: 3.0, PrefetchCoverage: 0.60, PrefetchAccuracy: 0.70, RowLocality: 0.75})
+
+	// --- SPEC 2006 integer apps that appear only in MIX mixes.
+	register(&AppProfile{Name: "hmmer", Class: MIX, CPIBase: 1.15, L2APKI: 5.0,
+		MRC: MRC{A: 1.0, K: 0.10, Min: 0.3}, DirtyFrac: 0.63, Mix: intMix(0.30),
+		MLP: 1.5, PrefetchCoverage: 0.30, PrefetchAccuracy: 0.85, RowLocality: 0.60})
+	register(&AppProfile{Name: "sjeng", Class: MIX, CPIBase: 1.20, L2APKI: 4.0,
+		MRC: MRC{A: 0.8, K: 0.10, Min: 0.2}, DirtyFrac: 0.30, Mix: intMix(0.26),
+		MLP: 1.4, PrefetchCoverage: 0.25, PrefetchAccuracy: 0.80, RowLocality: 0.45})
+	register(&AppProfile{Name: "gobmk", Class: MIX, CPIBase: 1.25, L2APKI: 5.0,
+		MRC: MRC{A: 0.6, K: 0.10, Min: 0.2}, DirtyFrac: 0.40, Mix: intMix(0.28),
+		MLP: 1.4, PrefetchCoverage: 0.25, PrefetchAccuracy: 0.80, RowLocality: 0.45})
+}

@@ -1,0 +1,181 @@
+// Package workload defines the 16 multiprogrammed workload mixes of Table 1.
+// Each mix names four SPEC applications; four copies of each application run,
+// one per core, occupying all 16 cores. A workload terminates when its
+// slowest application has committed its full instruction budget (100M
+// instructions in the paper).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"coscale/internal/cache"
+	"coscale/internal/trace"
+)
+
+// Mix is one Table 1 workload.
+type Mix struct {
+	Name   string
+	Class  trace.Class
+	Apps   []string // the four distinct applications
+	Copies int      // copies of each app (4 in the paper)
+
+	// PaperMPKI and PaperWPKI are the values published in Table 1,
+	// retained for the Table 1 reproduction experiment.
+	PaperMPKI float64
+	PaperWPKI float64
+}
+
+// Cores returns the total core count the mix occupies.
+func (m Mix) Cores() int { return len(m.Apps) * m.Copies }
+
+// AppForCore returns the application profile running on the given core.
+// Copies of the same app occupy consecutive cores: core = app*Copies + copy.
+func (m Mix) AppForCore(core int) (*trace.AppProfile, error) {
+	if core < 0 || core >= m.Cores() {
+		return nil, fmt.Errorf("workload: core %d out of range [0,%d)", core, m.Cores())
+	}
+	return trace.Lookup(m.Apps[core/m.Copies])
+}
+
+// Profiles returns the per-core application profiles (length Cores()).
+func (m Mix) Profiles() ([]*trace.AppProfile, error) {
+	out := make([]*trace.AppProfile, m.Cores())
+	for c := range out {
+		p, err := m.AppForCore(c)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = p
+	}
+	return out, nil
+}
+
+// Characteristics holds the measured whole-run statistics of a mix under the
+// analytic cache-sharing model (the Table 1 columns).
+type Characteristics struct {
+	MPKI float64 // LLC misses per kilo-instruction, averaged over programs
+	WPKI float64 // LLC writebacks per kilo-instruction
+}
+
+// Characterize computes the mix's MPKI/WPKI at nominal frequency under the
+// shared-LLC contention model: each copy's cache share follows its L2 access
+// weight, and its miss rate follows its miss-rate curve at that share.
+// Statistics are instruction-weighted over each program's phases.
+func (m Mix) Characterize(llc *cache.ShareModel) (Characteristics, error) {
+	profiles, err := m.Profiles()
+	if err != nil {
+		return Characteristics{}, err
+	}
+	// Whole-run statistics: integrate over phases at a fixed set of
+	// instruction-fraction sample points.
+	const samples = 200
+	var sumMPKI, sumWPKI float64
+	weights := make([]float64, len(profiles))
+	for s := 0; s < samples; s++ {
+		frac := (float64(s) + 0.5) / samples
+		for i, p := range profiles {
+			weights[i] = p.At(frac).L2APKI
+		}
+		shares := llc.Shares(weights)
+		for i, p := range profiles {
+			mpki := p.MPKIAt(frac, shares[i])
+			sumMPKI += mpki
+			sumWPKI += mpki * p.DirtyFrac
+		}
+	}
+	n := float64(samples * len(profiles))
+	return Characteristics{MPKI: sumMPKI / n, WPKI: sumWPKI / n}, nil
+}
+
+// mixes is the Table 1 catalogue.
+var mixes = map[string]Mix{}
+
+func addMix(name string, class trace.Class, mpki, wpki float64, apps ...string) {
+	if len(apps) != 4 {
+		panic("workload: mixes have exactly four applications")
+	}
+	for _, a := range apps {
+		trace.MustLookup(a) // fail fast on typos at init
+	}
+	mixes[name] = Mix{Name: name, Class: class, Apps: apps, Copies: 4,
+		PaperMPKI: mpki, PaperWPKI: wpki}
+}
+
+func init() {
+	addMix("ILP1", trace.ILP, 0.37, 0.06, "vortex", "gcc", "sixtrack", "mesa")
+	addMix("ILP2", trace.ILP, 0.16, 0.03, "perlbmk", "crafty", "gzip", "eon")
+	addMix("ILP3", trace.ILP, 0.27, 0.07, "sixtrack", "mesa", "perlbmk", "crafty")
+	addMix("ILP4", trace.ILP, 0.25, 0.04, "vortex", "mesa", "perlbmk", "crafty")
+	addMix("MID1", trace.MID, 1.76, 0.74, "ammp", "gap", "wupwise", "vpr")
+	addMix("MID2", trace.MID, 2.61, 0.89, "astar", "parser", "twolf", "facerec")
+	addMix("MID3", trace.MID, 1.00, 0.60, "apsi", "bzip2", "ammp", "gap")
+	addMix("MID4", trace.MID, 2.13, 0.90, "wupwise", "vpr", "astar", "parser")
+	addMix("MEM1", trace.MEM, 18.2, 7.92, "swim", "applu", "galgel", "equake")
+	addMix("MEM2", trace.MEM, 7.75, 2.53, "art", "milc", "mgrid", "fma3d")
+	addMix("MEM3", trace.MEM, 7.93, 2.55, "fma3d", "mgrid", "galgel", "equake")
+	addMix("MEM4", trace.MEM, 15.07, 7.31, "swim", "applu", "sphinx3", "lucas")
+	addMix("MIX1", trace.MIX, 2.93, 2.56, "applu", "hmmer", "gap", "gzip")
+	addMix("MIX2", trace.MIX, 2.34, 0.39, "milc", "gobmk", "facerec", "perlbmk")
+	addMix("MIX3", trace.MIX, 2.55, 0.80, "equake", "ammp", "sjeng", "crafty")
+	addMix("MIX4", trace.MIX, 2.35, 1.38, "swim", "ammp", "twolf", "sixtrack")
+}
+
+// Get returns a Table 1 mix by name (e.g. "MEM1").
+func Get(name string) (Mix, error) {
+	m, ok := mixes[name]
+	if !ok {
+		return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+	}
+	return m, nil
+}
+
+// MustGet is Get for statically known names; it panics on failure.
+func MustGet(name string) Mix {
+	m, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Names returns all mix names in Table 1 order (ILP*, MID*, MEM*, MIX*,
+// numerically within class).
+func Names() []string {
+	out := make([]string, 0, len(mixes))
+	for n := range mixes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := classOrder(out[i]), classOrder(out[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// ByClass returns the mixes of one class in numeric order.
+func ByClass(c trace.Class) []Mix {
+	var out []Mix
+	for _, n := range Names() {
+		if m := mixes[n]; m.Class == c {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func classOrder(name string) int {
+	switch {
+	case len(name) >= 3 && name[:3] == "MEM":
+		return 0
+	case len(name) >= 3 && name[:3] == "MID":
+		return 1
+	case len(name) >= 3 && name[:3] == "ILP":
+		return 2
+	default:
+		return 3 // MIX
+	}
+}
