@@ -1,0 +1,38 @@
+# Local entry points mirroring .github/workflows/ci.yml exactly, so "works
+# locally" and "passes CI" are the same statement.
+
+GO ?= go
+
+.PHONY: check build vet fmt-check lint test test-race bench fmt
+
+## check: the full gate — tier-1 verify + vet + gofmt + coscale-lint
+check: build vet fmt-check lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## test-race: full suite under the race detector
+test-race:
+	$(GO) test -race ./...
+
+## bench: one iteration of every benchmark (compile + smoke, not timing)
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+vet:
+	$(GO) vet ./...
+
+## fmt-check: fail if any file needs gofmt (fmt rewrites in place)
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+## lint: the domain-invariant analyzers (see internal/lint)
+lint:
+	$(GO) run ./cmd/coscale-lint ./...

@@ -1,0 +1,24 @@
+// Command coscale-lint runs the repository's domain-invariant static
+// analyzers (floateq, unitliteral, determinism, nopanic, noprint) over the
+// given package patterns and exits non-zero on findings.
+//
+// Usage:
+//
+//	go run ./cmd/coscale-lint ./...
+//	go run ./cmd/coscale-lint -list
+//
+// Diagnostics print as "file:line: rule: message". Individual findings can
+// be suppressed with a "//lint:ignore <rule> <reason>" comment on the
+// offending line or the line above; see internal/lint for the rules and
+// their rationale.
+package main
+
+import (
+	"os"
+
+	"coscale/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,64 @@
+// Package approx provides tolerance-based floating-point comparison for the
+// simulator's energy, time and frequency arithmetic.
+//
+// CoScale's greedy search (PAPER.md §"Coordinating CPU and memory DVFS")
+// discriminates between full-system energy estimates that differ by
+// fractions of a percent, and the fixed-point performance solver iterates to
+// a 1e-9 relative tolerance. Exact ==/!= on such values is forbidden
+// repo-wide by the floateq lint rule; comparisons go through this package
+// instead, so every "equal enough" decision shares one definition of
+// "enough".
+package approx
+
+import "math"
+
+// DefaultTol is the default relative tolerance: 1e-9 matches the perf
+// solver's convergence tolerance and sits three orders of magnitude below
+// the smallest energy differences the CoScale search must distinguish,
+// while absorbing accumulated double-precision rounding.
+const DefaultTol = 1e-9
+
+// Equal reports whether a and b agree to within tol, measured relative to
+// the larger magnitude and absolutely for magnitudes below 1:
+//
+//	|a-b| <= tol * max(1, |a|, |b|)
+//
+// Infinities of the same sign are equal; NaN equals nothing (including
+// itself). A non-positive tol falls back to DefaultTol.
+func Equal(a, b, tol float64) bool {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1) ||
+			math.IsInf(a, -1) && math.IsInf(b, -1)
+	}
+	scale := 1.0
+	if aa := math.Abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := math.Abs(b); ab > scale {
+		scale = ab
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+// Close is Equal at DefaultTol.
+func Close(a, b float64) bool { return Equal(a, b, DefaultTol) }
+
+// Zero reports |x| <= tol (absolute; a non-positive tol falls back to
+// DefaultTol). Use it for "is this rate/steepness/fraction effectively
+// zero" tests on computed values.
+func Zero(x, tol float64) bool {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	return math.Abs(x) <= tol
+}
+
+// Less reports whether a is smaller than b by more than tol on the Equal
+// scale — i.e. a < b and not Equal(a, b, tol). Greedy-search comparisons
+// use it so that ties within tolerance do not flip on rounding noise.
+func Less(a, b, tol float64) bool {
+	return a < b && !Equal(a, b, tol)
+}

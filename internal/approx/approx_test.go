@@ -1,0 +1,89 @@
+package approx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqual(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		a, b float64
+		tol  float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, 0, true},
+		{"within relative tol", 1e12, 1e12 * (1 + 1e-10), 0, true},
+		{"outside relative tol", 1e12, 1e12 * (1 + 1e-8), 0, false},
+		{"small magnitudes absolute", 1e-15, -1e-15, 0, true},
+		{"distinct small values", 1e-3, 2e-3, 0, false},
+		{"explicit loose tol", 1.0, 1.01, 0.05, true},
+		{"explicit tight tol", 1.0, 1.01, 1e-6, false},
+		{"both +inf", math.Inf(1), math.Inf(1), 0, true},
+		{"both -inf", math.Inf(-1), math.Inf(-1), 0, true},
+		{"opposite inf", math.Inf(1), math.Inf(-1), 0, false},
+		{"inf vs finite", math.Inf(1), 1e308, 0, false},
+		{"nan vs nan", math.NaN(), math.NaN(), 0, false},
+		{"nan vs zero", math.NaN(), 0, 0, false},
+		{"zero vs zero", 0, 0, 0, true},
+		{"signed zero", 0, math.Copysign(0, -1), 0, true},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("%s: Equal(%v, %v, %v) = %v, want %v", c.name, c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestEqualSymmetric(t *testing.T) {
+	t.Parallel()
+	pairs := [][2]float64{{1, 1 + 1e-10}, {1e9, 1e9 + 1}, {-3, -3.0000000001}, {0, 1e-12}}
+	for _, p := range pairs {
+		if Equal(p[0], p[1], 0) != Equal(p[1], p[0], 0) {
+			t.Errorf("Equal not symmetric for %v", p)
+		}
+	}
+}
+
+func TestClose(t *testing.T) {
+	t.Parallel()
+	if !Close(2.0, 2.0+1e-12) {
+		t.Error("Close rejected values within DefaultTol")
+	}
+	if Close(2.0, 2.0001) {
+		t.Error("Close accepted values far outside DefaultTol")
+	}
+}
+
+func TestZero(t *testing.T) {
+	t.Parallel()
+	if !Zero(0, 0) || !Zero(1e-12, 0) || !Zero(-1e-12, 0) {
+		t.Error("Zero rejected effectively-zero values")
+	}
+	if Zero(1e-6, 0) {
+		t.Error("Zero accepted 1e-6 at DefaultTol")
+	}
+	if !Zero(0.5, 0.6) {
+		t.Error("Zero ignored explicit tolerance")
+	}
+	if Zero(math.NaN(), 0) {
+		t.Error("Zero accepted NaN")
+	}
+}
+
+func TestLess(t *testing.T) {
+	t.Parallel()
+	if !Less(1.0, 2.0, 0) {
+		t.Error("Less rejected clearly smaller value")
+	}
+	if Less(2.0, 1.0, 0) {
+		t.Error("Less accepted larger value")
+	}
+	if Less(1.0, 1.0+1e-12, 0) {
+		t.Error("Less treated a within-tolerance tie as smaller")
+	}
+	if !Less(1.0, 1.0+1e-3, 1e-6) {
+		t.Error("Less rejected difference above explicit tolerance")
+	}
+}

@@ -53,6 +53,7 @@ func New(cfg policy.Config) *CoScale { return NewWithOptions(cfg, Options{}) }
 // NewWithOptions returns a CoScale controller with ablation options.
 func NewWithOptions(cfg policy.Config, opts Options) *CoScale {
 	if err := cfg.Validate(); err != nil {
+		//lint:ignore nopanic constructor contract: configs come from PolicyConfig, already validated by sim.New
 		panic(err)
 	}
 	return &CoScale{
@@ -245,7 +246,7 @@ func (c *CoScale) coreMarginal(ev *policy.Evaluator, st *searchState, limits []f
 	pCur := c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step), hzCur, 1/tpiCur, mix)
 	pNext := c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step+1), hzNext, 1/tpiNext, mix)
 	cpuScale := c.cfg.Power.CPUScale
-	if cpuScale == 0 {
+	if cpuScale <= 0 {
 		cpuScale = 1
 	}
 	return coreMarg{

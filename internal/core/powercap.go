@@ -27,9 +27,11 @@ type PowerCap struct {
 // budget in watts.
 func NewPowerCap(cfg policy.Config, capWatts float64) *PowerCap {
 	if err := cfg.Validate(); err != nil {
+		//lint:ignore nopanic constructor contract: configs come from PolicyConfig, already validated by sim.New
 		panic(err)
 	}
 	if capWatts <= 0 {
+		//lint:ignore nopanic caps are compile-time experiment constants; a non-positive one is a programmer error
 		panic("core: power cap must be positive")
 	}
 	return &PowerCap{

@@ -14,6 +14,8 @@ package dram
 import (
 	"fmt"
 	"time"
+
+	"coscale/internal/freq"
 )
 
 // RowPolicy selects the row-buffer management policy.
@@ -88,7 +90,7 @@ func DefaultConfig() Config {
 		DIMMsPerChannel: 2,
 		RanksPerDIMM:    2,
 		BanksPerRank:    8,
-		BusHz:           800e6,
+		BusHz:           800 * freq.MHz,
 
 		TRCDNs: 15, TRPNs: 15, TCLNs: 15,
 		TRASNs: 35, TWRNs: 15, TRFCNs: 110,

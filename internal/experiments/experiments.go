@@ -61,6 +61,7 @@ func NewPolicy(name PolicyName, cfg policy.Config) policy.Policy {
 	case NoMarginalCache:
 		return core.NewWithOptions(cfg, core.Options{DisableMarginalCache: true})
 	}
+	//lint:ignore nopanic policy names are compile-time constants; an unknown one is a programmer error
 	panic(fmt.Sprintf("experiments: unknown policy %q", name))
 }
 

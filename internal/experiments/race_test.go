@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"coscale/internal/sim"
+	"coscale/internal/workload"
+)
+
+// raceBudget is deliberately tiny: these tests exist to put the runner's
+// cache and the engine's state under the race detector, not to produce
+// meaningful figures.
+const raceBudget = 1_000_000
+
+// TestRunnerConcurrentExecute hammers one Runner from many goroutines with
+// overlapping keys: every goroutine races on the shared result cache, both
+// on the hit and the miss path.
+func TestRunnerConcurrentExecute(t *testing.T) {
+	t.Parallel()
+	r := NewRunner(raceBudget)
+	r.Parallel = 2
+	mixes := []string{"ILP1", "MID1"}
+	policies := []PolicyName{MemScaleName, CoScaleName}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, err := r.Execute(mixes[g%len(mixes)], policies[g%len(policies)], nil, "race-smoke")
+			errc <- err
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunnerForEachParallel drives the bounded-parallelism sweep helper the
+// way the figure generators do: each worker writes its own row while
+// sharing the runner's cache.
+func TestRunnerForEachParallel(t *testing.T) {
+	t.Parallel()
+	r := NewRunner(raceBudget)
+	r.Parallel = 4
+	mixes := []string{"ILP1", "MID1", "MEM1", "MIX1"}
+	savings := make([]float64, len(mixes))
+	err := r.forEach(len(mixes), func(i int) error {
+		o, err := r.Execute(mixes[i], CoScaleName, nil, "race-foreach")
+		if err != nil {
+			return err
+		}
+		savings[i] = o.FullSavings()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range savings {
+		if s < -1 || s > 1 {
+			t.Errorf("%s: implausible savings %v", mixes[i], s)
+		}
+	}
+}
+
+// TestEnginesConcurrentDeterministic runs independent engines on the same
+// configuration from several goroutines: no engine state may be shared, and
+// every run must produce bit-identical energy and finish times — the
+// reproducibility contract behind checkpoint/resume and figure
+// regeneration.
+func TestEnginesConcurrentDeterministic(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	results := make([]*sim.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cfg := sim.Config{Mix: workload.MustGet("MEM1"), InstrBudget: raceBudget}
+			eng, err := sim.New(cfg)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			results[g], errs[g] = eng.Run()
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	ref := results[0]
+	for g := 1; g < n; g++ {
+		// Exact comparison is intentional: identical configurations must
+		// produce identical bits (test files are outside floateq's scope).
+		if results[g].Energy != ref.Energy {
+			t.Errorf("goroutine %d energy %+v differs from %+v", g, results[g].Energy, ref.Energy)
+		}
+		for i := range ref.Apps {
+			if results[g].Apps[i].FinishTime != ref.Apps[i].FinishTime {
+				t.Errorf("goroutine %d app %d finish %v differs from %v",
+					g, i, results[g].Apps[i].FinishTime, ref.Apps[i].FinishTime)
+			}
+		}
+	}
+}

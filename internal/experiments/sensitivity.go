@@ -82,6 +82,7 @@ func powerRatioSystem(v string, nCores int) power.System {
 	case "1:2":
 		return power.CalibratedSystem(nCores, 0.30, 0.60, 0.10)
 	}
+	//lint:ignore nopanic ratio labels are compile-time constants; an unknown one is a programmer error
 	panic("experiments: unknown power ratio " + v)
 }
 
@@ -113,18 +114,24 @@ func (r *Runner) Figure14() ([]SensitivityRow, error) {
 // Figure15 varies the number of available frequency steps (4, 7, 10) for
 // both CPU and memory on the MID mixes.
 func (r *Runner) Figure15() ([]SensitivityRow, error) {
-	return r.sweep("nfreq", classMixNames(trace.MID), []string{"4", "7", "10"},
+	type ladders struct{ core, mem *freq.Ladder }
+	variants := []string{"4", "7", "10"}
+	steps := map[string]int{"4": 4, "7": 7, "10": 10}
+	built := make(map[string]ladders, len(variants))
+	for _, v := range variants {
+		cl, err := freq.CoreLadderN(steps[v])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %d-step core ladder: %w", steps[v], err)
+		}
+		ml, err := freq.MemLadderN(steps[v])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %d-step mem ladder: %w", steps[v], err)
+		}
+		built[v] = ladders{core: cl, mem: ml}
+	}
+	return r.sweep("nfreq", classMixNames(trace.MID), variants,
 		func(v string, c *sim.Config) {
-			n := map[string]int{"4": 4, "7": 7, "10": 10}[v]
-			cl, err := freq.CoreLadderN(n)
-			if err != nil {
-				panic(err)
-			}
-			ml, err := freq.MemLadderN(n)
-			if err != nil {
-				panic(err)
-			}
-			c.CoreLadder, c.MemLadder = cl, ml
+			c.CoreLadder, c.MemLadder = built[v].core, built[v].mem
 		})
 }
 

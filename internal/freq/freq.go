@@ -94,6 +94,7 @@ func (l *Ladder) Steps() int { return len(l.points) }
 // It panics if step is out of range; callers index with validated steps.
 func (l *Ladder) Point(step int) Point {
 	if step < 0 || step >= len(l.points) {
+		//lint:ignore nopanic documented contract: callers index with validated steps (see Clamp)
 		panic(fmt.Sprintf("freq: step %d out of range [0,%d)", step, len(l.points)))
 	}
 	return l.points[step]
@@ -171,7 +172,8 @@ const (
 func DefaultCoreLadder() *Ladder {
 	l, err := NewLadder(DefaultCoreMinHz, DefaultCoreMaxHz, DefaultCoreMinV, DefaultCoreMaxV, DefaultCoreSteps)
 	if err != nil {
-		panic(err) // static parameters; cannot fail
+		//lint:ignore nopanic static paper parameters; cannot fail
+		panic(err)
 	}
 	return l
 }
@@ -187,6 +189,7 @@ func CoreLadderN(n int) (*Ladder, error) {
 func HalfVoltageCoreLadder() *Ladder {
 	l, err := NewLadder(DefaultCoreMinHz, DefaultCoreMaxHz, HalfRangeCoreMinV, DefaultCoreMaxV, DefaultCoreSteps)
 	if err != nil {
+		//lint:ignore nopanic static paper parameters; cannot fail
 		panic(err)
 	}
 	return l
@@ -199,6 +202,7 @@ func HalfVoltageCoreLadder() *Ladder {
 func DefaultMemLadder() *Ladder {
 	l, err := NewLadderSteps(DefaultMemMinHz, DefaultMemMaxHz, DefaultMemStepHz, DefaultCoreMinV, DefaultCoreMaxV, DefaultMemSteps)
 	if err != nil {
+		//lint:ignore nopanic static paper parameters; cannot fail
 		panic(err)
 	}
 	return l

@@ -8,6 +8,7 @@ import (
 )
 
 func TestDefaultCoreLadder(t *testing.T) {
+	t.Parallel()
 	l := DefaultCoreLadder()
 	if got := l.Steps(); got != 10 {
 		t.Fatalf("Steps() = %d, want 10", got)
@@ -34,6 +35,7 @@ func TestDefaultCoreLadder(t *testing.T) {
 }
 
 func TestDefaultMemLadder(t *testing.T) {
+	t.Parallel()
 	l := DefaultMemLadder()
 	if got := l.Steps(); got != 10 {
 		t.Fatalf("Steps() = %d, want 10", got)
@@ -54,6 +56,7 @@ func TestDefaultMemLadder(t *testing.T) {
 }
 
 func TestLadderMonotonic(t *testing.T) {
+	t.Parallel()
 	for _, l := range []*Ladder{DefaultCoreLadder(), DefaultMemLadder(), HalfVoltageCoreLadder()} {
 		for i := 1; i < l.Steps(); i++ {
 			if l.Hz(i) >= l.Hz(i-1) {
@@ -67,6 +70,7 @@ func TestLadderMonotonic(t *testing.T) {
 }
 
 func TestHalfVoltageCoreLadder(t *testing.T) {
+	t.Parallel()
 	l := HalfVoltageCoreLadder()
 	if got := l.Volts(l.Steps() - 1); math.Abs(got-0.95) > 1e-9 {
 		t.Errorf("bottom voltage = %g, want 0.95", got)
@@ -80,6 +84,7 @@ func TestHalfVoltageCoreLadder(t *testing.T) {
 }
 
 func TestCoreLadderN(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{4, 7, 10} {
 		l, err := CoreLadderN(n)
 		if err != nil {
@@ -95,6 +100,7 @@ func TestCoreLadderN(t *testing.T) {
 }
 
 func TestNewLadderErrors(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		name                     string
 		minHz, maxHz, minV, maxV float64
@@ -117,6 +123,7 @@ func TestNewLadderErrors(t *testing.T) {
 }
 
 func TestSinglePointLadder(t *testing.T) {
+	t.Parallel()
 	l, err := NewLadder(2*GHz, 2*GHz, 1.0, 1.0, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -130,6 +137,7 @@ func TestSinglePointLadder(t *testing.T) {
 }
 
 func TestClampAndNearest(t *testing.T) {
+	t.Parallel()
 	l := DefaultCoreLadder()
 	if got := l.Clamp(-3); got != 0 {
 		t.Errorf("Clamp(-3) = %d", got)
@@ -152,6 +160,7 @@ func TestClampAndNearest(t *testing.T) {
 }
 
 func TestPointPanicsOutOfRange(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("Point(99) did not panic")
@@ -161,6 +170,7 @@ func TestPointPanicsOutOfRange(t *testing.T) {
 }
 
 func TestPointsIsCopy(t *testing.T) {
+	t.Parallel()
 	l := DefaultCoreLadder()
 	pts := l.Points()
 	pts[0].Hz = 1
@@ -170,6 +180,7 @@ func TestPointsIsCopy(t *testing.T) {
 }
 
 func TestMemTransitionTime(t *testing.T) {
+	t.Parallel()
 	// At 800 MHz: 512 cycles = 640 ns, +28 ns = 668 ns.
 	got := MemTransitionTime(800 * MHz)
 	want := 668 * time.Nanosecond
@@ -188,6 +199,7 @@ func TestMemTransitionTime(t *testing.T) {
 // Property: for any valid ladder, voltage is a non-increasing function of
 // step and frequency is strictly decreasing, and Nearest inverts Hz.
 func TestLadderProperties(t *testing.T) {
+	t.Parallel()
 	f := func(nRaw uint8, spanRaw uint16) bool {
 		n := int(nRaw%20) + 1
 		span := 0.1 + float64(spanRaw)/1000.0 // GHz of span

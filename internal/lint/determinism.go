@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism forbids the three classic sources of run-to-run divergence in
+// the packages whose output must be bit-reproducible — epoch-level
+// simulation state feeds both checkpoint/resume and figure regeneration, so
+// two runs of the same configuration must produce identical bits:
+//
+//   - time.Now: wall-clock reads leak host time into simulated state;
+//     simulated time must advance explicitly.
+//   - global math/rand functions (rand.Intn, rand.Float64, ...): they draw
+//     from the process-wide source, whose state depends on every other
+//     caller; use a locally seeded *rand.Rand.
+//   - for range over a map: Go randomizes map iteration order by design;
+//     collect and sort the keys first.
+var Determinism = &Analyzer{
+	Name:  "determinism",
+	Doc:   "forbid time.Now, global math/rand, and map iteration in sim/trace/policy/core",
+	Match: determinismScope,
+	Run:   runDeterminism,
+}
+
+// determinismPackages are the bit-reproducible packages, relative to
+// <module>/internal/.
+var determinismPackages = []string{"sim", "trace", "policy", "core"}
+
+// determinismScope matches the reproducibility-critical packages and their
+// subpackages.
+func determinismScope(path string) bool {
+	_, after, ok := strings.Cut(path, "/internal/")
+	if !ok {
+		return false
+	}
+	for _, p := range determinismPackages {
+		if after == p || strings.HasPrefix(after, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand package-level functions that build
+// locally seeded generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := pass.Info.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if fn.Name() == "Now" {
+						pass.Reportf(n.Pos(),
+							"time.Now is nondeterministic; advance simulated time explicitly")
+					}
+				case "math/rand", "math/rand/v2":
+					sig, ok := fn.Type().(*types.Signature)
+					if ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(),
+							"global rand.%s draws from the shared process-wide source; use a seeded *rand.Rand",
+							fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Range,
+							"map iteration order is nondeterministic; collect and sort the keys first")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

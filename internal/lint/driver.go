@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Exit codes returned by Main.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one diagnostic
+	ExitError    = 2 // usage, load, parse or type-check failure
+)
+
+// Main is the coscale-lint entry point: it expands package patterns
+// (./... style), loads and type-checks each package, runs the analyzer
+// suite, prints "file:line: rule: message" diagnostics to stdout and
+// returns an exit code. Directories named testdata, vendor, or starting
+// with "." or "_" are skipped by pattern expansion, matching go tooling
+// conventions.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("coscale-lint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	list := fl.Bool("list", false, "list analyzers and exit")
+	fl.Usage = func() {
+		fmt.Fprintln(stderr, "usage: coscale-lint [-list] [packages]")
+		fmt.Fprintln(stderr, "packages are directory patterns like ./... or ./internal/sim (default ./...)")
+		fl.PrintDefaults()
+	}
+	if err := fl.Parse(args); err != nil {
+		return ExitError
+	}
+	if *list {
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return ExitClean
+	}
+	patterns := fl.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "coscale-lint:", err)
+		return ExitError
+	}
+	root, modPath, err := findModule(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "coscale-lint:", err)
+		return ExitError
+	}
+
+	dirs, err := expandPatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "coscale-lint:", err)
+		return ExitError
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(stderr, "coscale-lint: no packages match", strings.Join(patterns, " "))
+		return ExitError
+	}
+
+	loader := NewLoader(root, modPath)
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		path, err := importPathFor(root, modPath, dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "coscale-lint:", err)
+			return ExitError
+		}
+		pkg, err := loader.LoadDir(dir, path)
+		if err != nil {
+			fmt.Fprintln(stderr, "coscale-lint:", err)
+			return ExitError
+		}
+		diags = append(diags, CheckPackage(pkg, Analyzers())...)
+	}
+	for _, d := range diags {
+		d.Pos.Filename = relativize(cwd, d.Pos.Filename)
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		gomod := filepath.Join(d, "go.mod")
+		if _, serr := os.Stat(gomod); serr == nil {
+			mp, merr := moduleLine(gomod)
+			if merr != nil {
+				return "", "", merr
+			}
+			return d, mp, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", errors.New("no go.mod found above " + dir)
+		}
+		d = parent
+	}
+}
+
+// moduleLine extracts the module path from a go.mod file.
+func moduleLine(gomod string) (string, error) {
+	f, err := os.Open(gomod)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if mp, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(mp), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", errors.New(gomod + ": no module line")
+}
+
+// expandPatterns resolves "./...", "dir/..." and plain directory patterns
+// into the sorted set of package directories containing non-test Go files.
+func expandPatterns(cwd string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		switch {
+		case pat == "...":
+			pat, recursive = ".", true
+		case strings.HasSuffix(pat, "/..."):
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(cwd, base)
+		}
+		if !recursive {
+			if _, err := goFiles(base); err != nil {
+				return nil, fmt.Errorf("%s: %w", pat, err)
+			}
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if _, err := goFiles(p); err == nil {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// importPathFor maps a package directory to its import path. Fixture
+// packages under a testdata/src/ tree pose as packages under
+// <module>/internal/ — the convention (borrowed from x/tools analysistest)
+// that lets fixtures exercise path-scoped rules like determinism, which
+// only fires inside specific internal packages.
+func importPathFor(root, modPath, dir string) (string, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		return modPath, nil
+	}
+	if rel == ".." || strings.HasPrefix(rel, "../") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, root)
+	}
+	if _, after, ok := strings.Cut(rel+"/", "/testdata/src/"); ok {
+		return modPath + "/internal/" + strings.TrimSuffix(after, "/"), nil
+	}
+	return modPath + "/" + rel, nil
+}
+
+// relativize shortens filename to a cwd-relative path when that is shorter.
+func relativize(cwd, filename string) string {
+	if rel, err := filepath.Rel(cwd, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return filename
+}

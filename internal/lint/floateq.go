@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq forbids == and != between floating-point operands in internal/
+// library code. The CoScale search compares energy estimates that differ by
+// fractions of a percent; exact equality on such values is either a bug or
+// an accident waiting for a refactor. Comparisons must go through
+// coscale/internal/approx (approx.Close, approx.Equal, approx.Zero).
+//
+// Two idioms stay legal: comparing two compile-time constants (folded
+// exactly by the compiler) and the x != x NaN test.
+var FloatEq = &Analyzer{
+	Name:  "floateq",
+	Doc:   "forbid ==/!= on floating-point operands; compare via internal/approx",
+	Match: internalPackages,
+	Run:   runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := pass.Info.Types[be.X]
+			ty := pass.Info.Types[be.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // both constant: folded exactly at compile time
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x is the idiomatic NaN test
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use approx.Close/Equal/Zero", be.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,169 @@
+// Package lint implements coscale-lint, the repository's domain-invariant
+// static-analysis suite. It is built entirely on the standard library's
+// go/ast, go/parser, go/token and go/types packages (no external analysis
+// frameworks, preserving the repo's stdlib-only constraint).
+//
+// The suite enforces invariants that go build and go vet cannot: the
+// CoScale controller's greedy search compares full-system energy estimates
+// that differ by fractions of a percent, and EXPERIMENTS.md regenerates
+// paper figures that must be bit-reproducible run to run. Exact float
+// comparison, Hz-vs-MHz unit confusion, wall-clock or global-rand
+// nondeterminism, and stray panics/prints in library code are therefore
+// first-class bugs here, and each gets its own analyzer (see Analyzers).
+//
+// Findings can be suppressed one line at a time with
+//
+//	//lint:ignore <rule> <reason>
+//
+// placed on the offending line or on the line directly above it. The reason
+// is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is a single finding at a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the canonical "file:line: rule: message"
+// form the driver prints and the golden tests compare against.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// An Analyzer checks one named rule over a type-checked package.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description shown by coscale-lint -list.
+	Doc string
+	// Match reports whether the rule applies to a package import path;
+	// nil means every package.
+	Match func(pkgPath string) bool
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos under the pass's rule name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable presentation order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{FloatEq, UnitLiteral, Determinism, NoPanic, NoPrint}
+}
+
+// internalPackages scopes a rule to library code under internal/.
+func internalPackages(path string) bool {
+	return strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/")
+}
+
+// CheckPackage runs every applicable analyzer over pkg, applies
+// //lint:ignore suppressions, and returns the surviving diagnostics sorted
+// by position. Malformed ignore directives are reported under the "lint"
+// rule.
+func CheckPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(pkg.Path) {
+			continue
+		}
+		a.Run(&Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		})
+	}
+	ignores, kept := collectIgnores(pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return kept
+}
+
+// ignoreKey addresses one suppressed rule on one source line.
+type ignoreKey struct {
+	file string
+	line int
+	rule string
+}
+
+// collectIgnores scans the files' comments for //lint:ignore directives. A
+// directive suppresses the named rule on its own line (trailing comment)
+// and on the following line (directive on its own line). Directives missing
+// a rule or a reason are returned as "lint" diagnostics.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (map[ignoreKey]bool, []Diagnostic) {
+	ignores := map[ignoreKey]bool{}
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    "lint",
+						Message: `malformed directive: want "//lint:ignore <rule> <reason>"`,
+					})
+					continue
+				}
+				for _, rule := range strings.Split(fields[0], ",") {
+					ignores[ignoreKey{pos.Filename, pos.Line, rule}] = true
+					ignores[ignoreKey{pos.Filename, pos.Line + 1, rule}] = true
+				}
+			}
+		}
+	}
+	return ignores, malformed
+}

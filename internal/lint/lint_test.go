@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// fixtureGroups maps each golden file to the fixture packages it covers.
+// Directories are relative to testdata/src; import paths are derived the
+// same way the driver derives them, so path-scoped rules fire exactly as
+// they would on real packages.
+var fixtureGroups = []struct {
+	golden string
+	dirs   []string
+}{
+	{"floateq", []string{"floateq/bad", "floateq/clean"}},
+	{"unitliteral", []string{"unitliteral/bad", "unitliteral/clean"}},
+	{"determinism", []string{"sim/determbad", "sim/determclean", "dram/determexempt"}},
+	{"nopanic", []string{"nopanic/bad", "nopanic/clean"}},
+	{"noprint", []string{"noprint/bad", "noprint/clean"}},
+	{"ignore", []string{"ignore/bad"}},
+}
+
+// checkFixtures loads every fixture dir of a group through a shared loader
+// and renders the full suite's diagnostics with testdata-relative paths.
+func checkFixtures(t *testing.T, loader *Loader, testdata string, dirs []string) string {
+	t.Helper()
+	var out strings.Builder
+	for _, rel := range dirs {
+		dir := filepath.Join(testdata, "src", rel)
+		pkg, err := loader.LoadDir(dir, "coscale/internal/"+rel)
+		if err != nil {
+			t.Fatalf("load %s: %v", rel, err)
+		}
+		for _, d := range CheckPackage(pkg, Analyzers()) {
+			if r, err := filepath.Rel(testdata, d.Pos.Filename); err == nil {
+				d.Pos.Filename = filepath.ToSlash(r)
+			}
+			fmt.Fprintln(&out, d)
+		}
+	}
+	return out.String()
+}
+
+func TestAnalyzersGolden(t *testing.T) {
+	root, testdata := repoRoot(t), testdataDir(t)
+	loader := NewLoader(root, "coscale")
+	for _, g := range fixtureGroups {
+		t.Run(g.golden, func(t *testing.T) {
+			got := checkFixtures(t, loader, testdata, g.dirs)
+			goldenFile := filepath.Join(testdata, "golden", g.golden+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenFile, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenFile)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test ./internal/lint -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestBadFixturesFindEachRule asserts every analyzer actually fires on its
+// bad fixture — a golden file of the wrong shape cannot mask a silent
+// analyzer.
+func TestBadFixturesFindEachRule(t *testing.T) {
+	root, testdata := repoRoot(t), testdataDir(t)
+	loader := NewLoader(root, "coscale")
+	cases := map[string]string{
+		"floateq":     "floateq/bad",
+		"unitliteral": "unitliteral/bad",
+		"determinism": "sim/determbad",
+		"nopanic":     "nopanic/bad",
+		"noprint":     "noprint/bad",
+		"lint":        "ignore/bad",
+	}
+	for rule, rel := range cases {
+		pkg, err := loader.LoadDir(filepath.Join(testdata, "src", rel), "coscale/internal/"+rel)
+		if err != nil {
+			t.Fatalf("load %s: %v", rel, err)
+		}
+		found := false
+		for _, d := range CheckPackage(pkg, Analyzers()) {
+			if d.Rule == rule {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("rule %s reported nothing on %s", rule, rel)
+		}
+	}
+}
+
+// TestDriverExitCodes runs the real driver entry point over each fixture:
+// every violating package must fail the build, every clean one must pass.
+func TestDriverExitCodes(t *testing.T) {
+	testdata := testdataDir(t)
+	bad := []string{"floateq/bad", "unitliteral/bad", "sim/determbad", "nopanic/bad", "noprint/bad", "ignore/bad"}
+	for _, rel := range bad {
+		var out, errOut bytes.Buffer
+		if code := Main([]string{filepath.Join(testdata, "src", rel)}, &out, &errOut); code != ExitFindings {
+			t.Errorf("Main(%s) = %d, want %d\nstdout: %s\nstderr: %s",
+				rel, code, ExitFindings, out.String(), errOut.String())
+		}
+	}
+	clean := []string{"floateq/clean", "unitliteral/clean", "sim/determclean", "dram/determexempt", "nopanic/clean", "noprint/clean"}
+	args := make([]string, len(clean))
+	for i, rel := range clean {
+		args[i] = filepath.Join(testdata, "src", rel)
+	}
+	var out, errOut bytes.Buffer
+	if code := Main(args, &out, &errOut); code != ExitClean {
+		t.Errorf("Main(clean fixtures) = %d, want %d\nstdout: %s\nstderr: %s",
+			code, ExitClean, out.String(), errOut.String())
+	}
+}
+
+// TestRepoIsClean lints the entire repository: the gate that CI runs, kept
+// inside go test so plain `go test ./...` enforces it too.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint skipped in -short mode")
+	}
+	var out, errOut bytes.Buffer
+	code := Main([]string{filepath.Join(repoRoot(t), "...")}, &out, &errOut)
+	if code != ExitClean {
+		t.Errorf("repository is not lint-clean (exit %d):\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestMainList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := Main([]string{"-list"}, &out, &errOut); code != ExitClean {
+		t.Fatalf("Main(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, a := range Analyzers() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+func TestImportPathFor(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("home", "x", "repo")
+	cases := []struct {
+		dir, want string
+	}{
+		{root, "coscale"},
+		{filepath.Join(root, "internal", "sim"), "coscale/internal/sim"},
+		{filepath.Join(root, "internal", "lint", "testdata", "src", "sim", "determbad"), "coscale/internal/sim/determbad"},
+	}
+	for _, c := range cases {
+		got, err := importPathFor(root, "coscale", c.dir)
+		if err != nil {
+			t.Fatalf("importPathFor(%s): %v", c.dir, err)
+		}
+		if got != c.want {
+			t.Errorf("importPathFor(%s) = %q, want %q", c.dir, got, c.want)
+		}
+	}
+	if _, err := importPathFor(root, "coscale", filepath.Dir(root)); err == nil {
+		t.Error("importPathFor accepted a directory outside the module")
+	}
+}
+
+// repoRoot locates the module root from the test's working directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modPath, err := findModule(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modPath != "coscale" {
+		t.Fatalf("unexpected module path %q", modPath)
+	}
+	return root
+}
+
+func testdataDir(t *testing.T) string {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(cwd, "testdata")
+}

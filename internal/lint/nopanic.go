@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic forbids panic calls in internal/ library code: callers up the
+// stack (the sim engine, the experiment runner, CLIs) are built to
+// propagate errors, and a panic inside a long figure-regeneration run
+// throws away every completed simulation. Return an error instead.
+//
+// Init-time registry validation and Must* helpers for statically known
+// names are the sanctioned exceptions; each such site carries a
+// //lint:ignore nopanic directive stating why it cannot fail at runtime.
+var NoPanic = &Analyzer{
+	Name:  "nopanic",
+	Doc:   "forbid panic in internal library code; return errors",
+	Match: internalPackages,
+	Run:   runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
+				return true // a local function shadowing the builtin
+			}
+			pass.Reportf(call.Pos(), "panic in library code; return an error")
+			return true
+		})
+	}
+}

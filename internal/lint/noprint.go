@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPrint forbids writing to process-global output streams from internal/
+// library code: fmt.Print/Printf/Println, the print/println builtins, and
+// any reference to os.Stdout. Experiment tables and figures are rendered
+// through injected io.Writers so that CLIs, tests and golden-file
+// comparisons all capture exactly the same bytes; a stray Printf corrupts
+// that stream.
+var NoPrint = &Analyzer{
+	Name:  "noprint",
+	Doc:   "forbid fmt.Print*/os.Stdout in internal library code; inject io.Writer",
+	Match: internalPackages,
+	Run:   runNoPrint,
+}
+
+// printFuncs are the fmt functions hard-wired to os.Stdout.
+var printFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func runNoPrint(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := pass.Info.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch {
+				case obj.Pkg().Path() == "fmt" && printFuncs[obj.Name()]:
+					pass.Reportf(n.Pos(),
+						"fmt.%s writes to os.Stdout; render through an injected io.Writer", obj.Name())
+				case obj.Pkg().Path() == "os" && obj.Name() == "Stdout":
+					pass.Reportf(n.Pos(),
+						"os.Stdout referenced in library code; accept an io.Writer instead")
+				}
+			case *ast.Ident:
+				if n.Name != "print" && n.Name != "println" {
+					return true
+				}
+				if _, ok := pass.Info.Uses[n].(*types.Builtin); ok {
+					pass.Reportf(n.Pos(),
+						"builtin %s writes to stderr; render through an injected io.Writer", n.Name)
+				}
+			}
+			return true
+		})
+	}
+}

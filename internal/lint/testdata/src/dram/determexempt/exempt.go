@@ -1,0 +1,8 @@
+// Package determexempt proves the determinism rule is path-scoped: dram is
+// not one of the bit-reproducible packages, so a wall-clock read here is
+// not flagged.
+package determexempt
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }

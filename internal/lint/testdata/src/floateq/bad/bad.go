@@ -1,0 +1,18 @@
+// Package bad holds floateq violations: exact equality on computed floats.
+package bad
+
+type energy float64
+
+func cmp(a, b float64, e energy) int {
+	n := 0
+	if a == b {
+		n++
+	}
+	if a != 0 {
+		n++
+	}
+	if e == 0.5 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,23 @@
+// Package clean holds code floateq must accept: constant folding, the NaN
+// self-test, integer equality, ordered comparisons, and a suppressed site.
+package clean
+
+const half = 0.5
+const ratio = 1.0 / 2.0
+
+func ok(x float64, n int) bool {
+	if half == ratio {
+		return true
+	}
+	if x != x {
+		return true // NaN
+	}
+	if n == 3 {
+		return true
+	}
+	if x <= 0 {
+		return true
+	}
+	//lint:ignore floateq demonstrating the escape hatch
+	return x == 1.0
+}

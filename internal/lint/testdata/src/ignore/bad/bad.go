@@ -1,0 +1,6 @@
+// Package bad holds a malformed suppression directive: it names a rule but
+// gives no reason, so the driver reports the directive itself.
+package bad
+
+//lint:ignore floateq
+func compare(a, b float64) bool { return a < b }

@@ -1,0 +1,13 @@
+// Package bad holds nopanic violations.
+package bad
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func explode(ok bool) {
+	if !ok {
+		panic("invariant violated")
+	}
+	panic(errBoom)
+}

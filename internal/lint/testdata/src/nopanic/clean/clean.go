@@ -1,0 +1,26 @@
+// Package clean holds code nopanic must accept: error returns, a suppressed
+// Must* helper, and a shadowed panic identifier.
+package clean
+
+import "errors"
+
+var errBad = errors.New("bad input")
+
+func check(ok bool) error {
+	if !ok {
+		return errBad
+	}
+	return nil
+}
+
+func mustCheck(ok bool) {
+	if err := check(ok); err != nil {
+		//lint:ignore nopanic Must* variant for statically known inputs
+		panic(err)
+	}
+}
+
+func shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,16 @@
+// Package bad holds noprint violations: global-stream writes from library
+// code.
+package bad
+
+import (
+	"fmt"
+	"os"
+)
+
+func report(rows []string) {
+	fmt.Println("rows:")
+	fmt.Printf("%d\n", len(rows))
+	fmt.Print(rows)
+	fmt.Fprintln(os.Stdout, rows)
+	println("debug")
+}

@@ -1,0 +1,17 @@
+// Package clean holds output code noprint must accept: everything renders
+// through an injected io.Writer, and Sprintf builds strings without a
+// stream.
+package clean
+
+import (
+	"fmt"
+	"io"
+)
+
+func report(w io.Writer, rows []string) error {
+	if _, err := fmt.Fprintf(w, "%d rows\n", len(rows)); err != nil {
+		return err
+	}
+	_ = fmt.Sprintf("%v", rows)
+	return nil
+}

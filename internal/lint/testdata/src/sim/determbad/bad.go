@@ -1,0 +1,18 @@
+// Package determbad holds determinism violations inside a bit-reproducible
+// package path (coscale/internal/sim/...).
+package determbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func epoch(weights map[string]float64) float64 {
+	start := time.Now()
+	_ = start
+	sum := rand.Float64()
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}

@@ -1,0 +1,23 @@
+// Package determclean holds deterministic code the analyzer must accept: a
+// locally seeded generator and sorted map iteration.
+package determclean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func epoch(weights map[string]float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	sum := rng.Float64()
+	keys := make([]string, 0, len(weights))
+	//lint:ignore determinism keys are sorted before use
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sum += weights[k]
+	}
+	return sum
+}

@@ -1,0 +1,22 @@
+// Package bad holds unitliteral violations: raw >= 1e6 literals in
+// frequency contexts.
+package bad
+
+type cfg struct {
+	BusHz float64
+	Label string
+}
+
+func setFreq(coreHz float64) {}
+
+func build() cfg {
+	c := cfg{BusHz: 800e6}
+	memFreq := 2.0e8
+	_ = memFreq
+	setFreq(4e9)
+	var busHz float64 = 1333333333
+	if busHz > 1e9 {
+		c.Label = "fast"
+	}
+	return c
+}

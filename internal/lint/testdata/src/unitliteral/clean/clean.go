@@ -1,0 +1,23 @@
+// Package clean holds code unitliteral must accept: unit-constant
+// multiples, large literals outside frequency contexts, small literals, and
+// a suppressed site.
+package clean
+
+import "coscale/internal/freq"
+
+type cfg struct {
+	BusHz    float64
+	RowBytes int
+}
+
+func build() cfg {
+	c := cfg{BusHz: 800 * freq.MHz, RowBytes: 8000000}
+	coreHz := 4 * freq.GHz
+	_ = coreHz
+	step := 66
+	_ = step
+	//lint:ignore unitliteral demonstrating the escape hatch
+	rawHz := 123456789.0
+	_ = rawHz
+	return c
+}

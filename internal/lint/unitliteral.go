@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitLiteral flags raw numeric literals >= 1e6 used where a frequency is
+// expected: assigned to, compared against, or passed as a value whose name
+// mentions Hz or freq. Such literals are where MHz-vs-Hz confusion is born
+// (the paper's ladders span 200 MHz to 4 GHz — six orders of magnitude of
+// possible silent error). Spell frequencies as multiples of freq.KHz,
+// freq.MHz or freq.GHz instead: 800 * freq.MHz, not 800000000.
+//
+// The freq package itself, which defines those constants, is exempt.
+var UnitLiteral = &Analyzer{
+	Name: "unitliteral",
+	Doc:  "flag raw literals >= 1e6 in frequency contexts; use freq.KHz/MHz/GHz",
+	Match: func(path string) bool {
+		return internalPackages(path) && !strings.HasSuffix(path, "/freq")
+	},
+	Run: runUnitLiteral,
+}
+
+// rawLiteralFloor is the smallest literal value worth flagging: 1e6 (1 MHz)
+// is the lowest magnitude at which a frequency literal appears in practice.
+const rawLiteralFloor = 1e6
+
+func runUnitLiteral(pass *Pass) {
+	check := func(e ast.Expr) {
+		lit, ok := rawBigLiteral(pass, e)
+		if !ok {
+			return
+		}
+		pass.Reportf(lit.Pos(),
+			"raw literal %s in a frequency context; use freq.KHz/MHz/GHz multiples", lit.Value)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok && isFreqName(id.Name) {
+					check(n.Value)
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Lhs {
+					if isFreqName(exprName(n.Lhs[i])) {
+						check(n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if isFreqName(name.Name) && i < len(n.Values) {
+						check(n.Values[i])
+					}
+				}
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+					if isFreqName(exprName(n.X)) {
+						check(n.Y)
+					}
+					if isFreqName(exprName(n.Y)) {
+						check(n.X)
+					}
+				}
+			case *ast.CallExpr:
+				sig, ok := pass.Info.TypeOf(n.Fun).(*types.Signature)
+				if !ok {
+					return true
+				}
+				for i, arg := range n.Args {
+					if p := paramAt(sig, i); p != nil && isFreqName(p.Name()) {
+						check(arg)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rawBigLiteral reports whether e is a bare numeric literal with value
+// >= rawLiteralFloor, unwrapping parentheses.
+func rawBigLiteral(pass *Pass, e ast.Expr) (*ast.BasicLit, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return nil, false
+	}
+	tv := pass.Info.Types[lit]
+	if tv.Value == nil {
+		return nil, false
+	}
+	v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	return lit, v >= rawLiteralFloor
+}
+
+// isFreqName reports whether a name denotes a frequency-typed value.
+func isFreqName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "hz") || strings.Contains(l, "freq")
+}
+
+// exprName extracts the rightmost identifier of an expression: x, p.Hz,
+// l.MaxHz() all name the value being produced.
+func exprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.CallExpr:
+		return exprName(e.Fun)
+	}
+	return ""
+}
+
+// paramAt returns the signature parameter matched by argument i, folding
+// trailing arguments onto a variadic final parameter.
+func paramAt(sig *types.Signature, i int) *types.Var {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if i >= params.Len() {
+		if sig.Variadic() {
+			return params.At(params.Len() - 1)
+		}
+		return nil
+	}
+	return params.At(i)
+}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestUnloadedLatency(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	l := p.Evaluate(800e6, 0)
 	// At 800 MHz: SBank = 30ns + 6/(1.6GHz) = 33.75ns; SBus = 4/800MHz = 5ns.
@@ -20,6 +21,7 @@ func TestUnloadedLatency(t *testing.T) {
 }
 
 func TestLatencyIncreasesWithLoad(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	prev := 0.0
 	for _, rate := range []float64{0, 1e8, 3e8, 5e8, 6e8} {
@@ -32,6 +34,7 @@ func TestLatencyIncreasesWithLoad(t *testing.T) {
 }
 
 func TestLatencyIncreasesAsFrequencyDrops(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	rate := 2e8 // 200M requests/s across 4 channels
 	prev := 0.0
@@ -45,6 +48,7 @@ func TestLatencyIncreasesAsFrequencyDrops(t *testing.T) {
 }
 
 func TestFrequencySensitivityGrowsWithLoad(t *testing.T) {
+	t.Parallel()
 	// The latency penalty of scaling 800->200 MHz must be much larger for
 	// a loaded system than an idle one: this is what makes memory DVFS
 	// cheap for ILP workloads and expensive for MEM workloads.
@@ -57,6 +61,7 @@ func TestFrequencySensitivityGrowsWithLoad(t *testing.T) {
 }
 
 func TestUtilizationClamped(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	l := p.Evaluate(206e6, 1e12) // absurd load
 	if l.UtilBus > p.MaxUtil || l.UtilBank > p.MaxUtil {
@@ -68,6 +73,7 @@ func TestUtilizationClamped(t *testing.T) {
 }
 
 func TestZeroFrequency(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	l := p.Evaluate(0, 1e8)
 	if !math.IsInf(l.Latency, 1) {
@@ -76,6 +82,7 @@ func TestZeroFrequency(t *testing.T) {
 }
 
 func TestPeakBandwidth(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	// 4 channels x 800 MHz / 4 cycles = 800M requests/s = 51.2 GB/s.
 	if got := p.PeakBandwidth(800e6); got != 8e8 {
@@ -87,6 +94,7 @@ func TestPeakBandwidth(t *testing.T) {
 }
 
 func TestServiceTimeComponents(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	// SBus doubles when frequency halves.
 	if r := p.SBus(400e6) / p.SBus(800e6); math.Abs(r-2) > 1e-9 {
@@ -106,6 +114,7 @@ func TestServiceTimeComponents(t *testing.T) {
 // Property: latency is finite, >= the unloaded service floor, and xi >= 1
 // for any reasonable operating point.
 func TestEvaluateProperties(t *testing.T) {
+	t.Parallel()
 	p := DefaultParams()
 	f := func(hzRaw, rateRaw uint16) bool {
 		hz := 200e6 + float64(hzRaw)/65535.0*600e6

@@ -88,6 +88,7 @@ func NewSolver(mem memsys.Params) *Solver {
 // coreHz[i] is core i's frequency; busHz is the memory bus frequency.
 func (sv *Solver) Solve(cores []CoreStats, coreHz []float64, busHz float64) Result {
 	if len(cores) != len(coreHz) {
+		//lint:ignore nopanic caller bug, not an input error: slices are built pairwise by the engine
 		panic("perf: cores and coreHz length mismatch")
 	}
 	tol := sv.Tol

@@ -19,6 +19,7 @@ func memoryCore() CoreStats {
 }
 
 func TestTPIComponents(t *testing.T) {
+	t.Parallel()
 	c := CoreStats{CPIBase: 2, Alpha: 0.01, StallL2: 10e-9, Beta: 0.001, MLP: 1}
 	got := c.TPI(2e9, 100e-9)
 	want := 2/2e9 + 0.01*10e-9 + 0.001*100e-9
@@ -28,6 +29,7 @@ func TestTPIComponents(t *testing.T) {
 }
 
 func TestTPIMLPDividesMemStall(t *testing.T) {
+	t.Parallel()
 	c := memoryCore()
 	inOrder := c.TPI(4e9, 100e-9)
 	c.MLP = 4
@@ -47,6 +49,7 @@ func TestTPIMLPDividesMemStall(t *testing.T) {
 }
 
 func TestTPIZeroFrequency(t *testing.T) {
+	t.Parallel()
 	c := computeCore()
 	if !math.IsInf(c.TPI(0, 50e-9), 1) {
 		t.Error("TPI at 0 Hz should be +Inf")
@@ -54,6 +57,7 @@ func TestTPIZeroFrequency(t *testing.T) {
 }
 
 func TestSolveConverges(t *testing.T) {
+	t.Parallel()
 	sv := NewSolver(memsys.DefaultParams())
 	cores := make([]CoreStats, 16)
 	for i := range cores {
@@ -81,6 +85,7 @@ func TestSolveConverges(t *testing.T) {
 }
 
 func TestSolveMemoryCouplingSlowsEveryone(t *testing.T) {
+	t.Parallel()
 	// 15 compute cores + 1 memory hog: adding the hog must raise the
 	// compute cores' TPI via shared-queue contention.
 	sv := NewSolver(memsys.DefaultParams())
@@ -102,6 +107,7 @@ func TestSolveMemoryCouplingSlowsEveryone(t *testing.T) {
 }
 
 func TestSolveMemoryFrequencyMattersMoreWhenMemoryBound(t *testing.T) {
+	t.Parallel()
 	sv := NewSolver(memsys.DefaultParams())
 	mk := func(c CoreStats) []CoreStats {
 		out := make([]CoreStats, 16)
@@ -126,6 +132,7 @@ func TestSolveMemoryFrequencyMattersMoreWhenMemoryBound(t *testing.T) {
 }
 
 func TestSolveCoreFrequencyMattersMoreWhenComputeBound(t *testing.T) {
+	t.Parallel()
 	sv := NewSolver(memsys.DefaultParams())
 	mk := func(c CoreStats) []CoreStats {
 		out := make([]CoreStats, 16)
@@ -147,6 +154,7 @@ func TestSolveCoreFrequencyMattersMoreWhenComputeBound(t *testing.T) {
 }
 
 func TestSolveStableUnderSaturation(t *testing.T) {
+	t.Parallel()
 	sv := NewSolver(memsys.DefaultParams())
 	cores := make([]CoreStats, 16)
 	for i := range cores {
@@ -166,6 +174,7 @@ func TestSolveStableUnderSaturation(t *testing.T) {
 }
 
 func TestSolveMismatchedLengthsPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("Solve with mismatched lengths did not panic")
@@ -175,6 +184,7 @@ func TestSolveMismatchedLengthsPanics(t *testing.T) {
 }
 
 func TestSolveEmpty(t *testing.T) {
+	t.Parallel()
 	res := NewSolver(memsys.DefaultParams()).Solve(nil, nil, 800e6)
 	if res.MemRate != 0 || len(res.TPI) != 0 {
 		t.Errorf("empty solve = %+v", res)
@@ -185,6 +195,7 @@ func TestSolveEmpty(t *testing.T) {
 // non-increasing in memory frequency (ground truth must never reward
 // slowing down).
 func TestSolveMonotonicity(t *testing.T) {
+	t.Parallel()
 	sv := NewSolver(memsys.DefaultParams())
 	f := func(betaRaw, trafficRaw uint8) bool {
 		c := CoreStats{
@@ -222,6 +233,7 @@ func TestSolveMonotonicity(t *testing.T) {
 }
 
 func TestSlackAccounting(t *testing.T) {
+	t.Parallel()
 	s := NewSlack(0.10)
 	// Epoch 1: ran exactly at max speed -> gained the full 10% allowance.
 	s.Record(5e-3, 5e-3)
@@ -250,6 +262,7 @@ func TestSlackAccounting(t *testing.T) {
 }
 
 func TestSlackGoesNegative(t *testing.T) {
+	t.Parallel()
 	s := NewSlack(0.05)
 	s.Record(1e-3, 2e-3) // 100% slowdown on a 5% bound
 	if s.Available() >= 0 {

@@ -111,6 +111,7 @@ func (p *Offline) dSweep(ev *Evaluator, m int, latency float64, refTPI, limits [
 	bestSER := math.Inf(1)
 	prev := math.NaN()
 	for _, d := range cands {
+		//lint:ignore floateq exact dedup of sorted candidates; a tolerance would merge distinct settings
 		if d == prev {
 			continue
 		}

@@ -266,7 +266,7 @@ func (ev *Evaluator) finish(e *Eval, hz []float64, memStep int, memRate float64)
 			e.MaxSlow = e.Slowdown[i]
 		}
 	}
-	if e.MaxSlow == 0 {
+	if e.MaxSlow <= 0 {
 		e.MaxSlow = 1
 	}
 

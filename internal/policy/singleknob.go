@@ -62,6 +62,7 @@ func coreSearch(ev *Evaluator, memStep int, latency float64, refTPI, limits []fl
 	bestSER := math.Inf(1)
 	prev := math.NaN()
 	for _, d := range candidates {
+		//lint:ignore floateq exact dedup of sorted candidates; a tolerance would merge distinct settings
 		if d == prev {
 			continue
 		}
@@ -191,6 +192,7 @@ func (p *CPUOnly) Observe(epoch Observation) {
 
 func mustValidate(cfg Config) {
 	if err := cfg.Validate(); err != nil {
+		//lint:ignore nopanic constructor contract: configs come from PolicyConfig, already validated by sim.New
 		panic(err)
 	}
 }

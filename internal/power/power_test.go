@@ -9,6 +9,7 @@ import (
 )
 
 func TestCorePowerScalesWithVoltageAndFrequency(t *testing.T) {
+	t.Parallel()
 	m := DefaultCoreModel()
 	mix := refMix()
 	high := m.Power(1.2, 4e9, 3.2e9, mix)
@@ -25,6 +26,7 @@ func TestCorePowerScalesWithVoltageAndFrequency(t *testing.T) {
 }
 
 func TestCorePowerMagnitude(t *testing.T) {
+	t.Parallel()
 	m := DefaultCoreModel()
 	p := m.Power(1.2, 4e9, 0.8*4e9, refMix())
 	if p < 10 || p > 18 {
@@ -33,6 +35,7 @@ func TestCorePowerMagnitude(t *testing.T) {
 }
 
 func TestEnergyPerInstrMixSensitivity(t *testing.T) {
+	t.Parallel()
 	m := DefaultCoreModel()
 	fp := m.EnergyPerInstr(1.2, trace.InstrMix{FPU: 0.4, LoadStore: 0.3})
 	intg := m.EnergyPerInstr(1.2, trace.InstrMix{ALU: 0.4, Branch: 0.2})
@@ -45,6 +48,7 @@ func TestEnergyPerInstrMixSensitivity(t *testing.T) {
 }
 
 func TestIdleCoreStillBurnsClockAndLeakage(t *testing.T) {
+	t.Parallel()
 	m := DefaultCoreModel()
 	p := m.Power(1.2, 4e9, 0, refMix())
 	if p < m.PLeak {
@@ -56,6 +60,7 @@ func TestIdleCoreStillBurnsClockAndLeakage(t *testing.T) {
 }
 
 func TestL2Power(t *testing.T) {
+	t.Parallel()
 	m := DefaultL2Model()
 	if m.Power(0) != m.PLeak {
 		t.Error("idle L2 power should equal leakage")
@@ -66,6 +71,7 @@ func TestL2Power(t *testing.T) {
 }
 
 func TestMemPowerFrequencyScaling(t *testing.T) {
+	t.Parallel()
 	m := DefaultMemModel()
 	use := func(hz, v float64) MemUsage {
 		return MemUsage{BusHz: hz, MCVolts: v, ReadRate: 1e8, WriteRate: 3e7,
@@ -83,6 +89,7 @@ func TestMemPowerFrequencyScaling(t *testing.T) {
 }
 
 func TestMemPowerTrafficScaling(t *testing.T) {
+	t.Parallel()
 	m := DefaultMemModel()
 	idle := m.Power(MemUsage{BusHz: 800e6, MCVolts: 1.2, BusyFrac: 0.1})
 	busy := m.Power(MemUsage{BusHz: 800e6, MCVolts: 1.2, ReadRate: 3e8, WriteRate: 1e8,
@@ -99,6 +106,7 @@ func TestMemPowerTrafficScaling(t *testing.T) {
 }
 
 func TestMemPowerdownSavesBackground(t *testing.T) {
+	t.Parallel()
 	m := DefaultMemModel()
 	busy := m.Power(MemUsage{BusHz: 800e6, MCVolts: 1.2, BusyFrac: 1})
 	idle := m.Power(MemUsage{BusHz: 800e6, MCVolts: 1.2, BusyFrac: 0})
@@ -108,6 +116,7 @@ func TestMemPowerdownSavesBackground(t *testing.T) {
 }
 
 func TestPLLRegAndMCBounds(t *testing.T) {
+	t.Parallel()
 	m := DefaultMemModel()
 	max := m.Power(MemUsage{BusHz: 800e6, MCVolts: 1.2, UtilBus: 1, BusyFrac: 1})
 	min := m.Power(MemUsage{BusHz: 0, MCVolts: 0.65, UtilBus: 0, BusyFrac: 0})
@@ -124,6 +133,7 @@ func TestPLLRegAndMCBounds(t *testing.T) {
 }
 
 func TestDefaultSystemSplit(t *testing.T) {
+	t.Parallel()
 	s := DefaultSystem(16)
 	cores := make([]CoreOp, 16)
 	for i := range cores {
@@ -145,6 +155,7 @@ func TestDefaultSystemSplit(t *testing.T) {
 }
 
 func TestCalibratedSystemRatios(t *testing.T) {
+	t.Parallel()
 	// Figure 12-13 knob: CPU:Mem = 1:2 must triple memory share vs 2:1.
 	for _, tc := range []struct{ cpu, mem float64 }{{0.6, 0.3}, {0.45, 0.45}, {0.3, 0.6}} {
 		s := CalibratedSystem(16, tc.cpu, tc.mem, 0.1)
@@ -160,6 +171,7 @@ func TestCalibratedSystemRatios(t *testing.T) {
 }
 
 func TestSER(t *testing.T) {
+	t.Parallel()
 	if got := SER(1, 100, 1, 100); got != 1 {
 		t.Errorf("SER identity = %g", got)
 	}
@@ -173,6 +185,7 @@ func TestSER(t *testing.T) {
 
 // Property: every model is non-negative and monotone in its main driver.
 func TestPowerProperties(t *testing.T) {
+	t.Parallel()
 	m := DefaultCoreModel()
 	f := func(vRaw, fRaw, ipcRaw uint8) bool {
 		v := 0.65 + float64(vRaw)/255.0*0.55

@@ -37,10 +37,10 @@ type Split struct {
 // access rate, memory power at usage u, and the sum of per-core powers.
 func (s System) Total(cores []CoreOp, l2AccessRate float64, u MemUsage) Split {
 	cpuScale, memScale := s.CPUScale, s.MemScale
-	if cpuScale == 0 {
+	if cpuScale <= 0 {
 		cpuScale = 1
 	}
-	if memScale == 0 {
+	if memScale <= 0 {
 		memScale = 1
 	}
 	var cpu float64

@@ -6,6 +6,7 @@ import (
 	"coscale/internal/cache"
 	"coscale/internal/cpu"
 	"coscale/internal/dram"
+	"coscale/internal/freq"
 	"coscale/internal/workload"
 )
 
@@ -41,10 +42,10 @@ func RunDetailed(cfg DetailedConfig) (*DetailedResult, error) {
 		return nil, fmt.Errorf("sim: detailed config requires a mix")
 	}
 	if cfg.CoreHz <= 0 {
-		cfg.CoreHz = 4e9
+		cfg.CoreHz = 4 * freq.GHz
 	}
 	if cfg.BusHz <= 0 {
-		cfg.BusHz = 800e6
+		cfg.BusHz = 800 * freq.MHz
 	}
 	if cfg.L2Bytes <= 0 {
 		cfg.L2Bytes = cache.DefaultSizeMB << 20

@@ -68,13 +68,13 @@ func (c Config) withDefaults() Config {
 	if c.Mem.Channels == 0 {
 		c.Mem = memsys.DefaultParams()
 	}
-	if c.Power.Core.FNom == 0 {
+	if c.Power.Core.FNom <= 0 {
 		c.Power = power.DefaultSystem(c.Mix.Cores())
 	}
-	if c.LLCSizeMB == 0 {
+	if c.LLCSizeMB <= 0 {
 		c.LLCSizeMB = cache.DefaultSizeMB
 	}
-	if c.Gamma == 0 {
+	if c.Gamma <= 0 {
 		c.Gamma = 0.10
 	}
 	if c.EpochLen == 0 {
@@ -325,7 +325,7 @@ func (e *Engine) advance(dt float64, st trueState, dead []float64) {
 		// software thread — threads may migrate across cores).
 		th := e.perm[i]
 		budget := float64(e.cfg.InstrBudget)
-		if e.finish[th] == 0 && e.instr[th] < budget && e.instr[th]+n >= budget {
+		if e.finish[th] <= 0 && e.instr[th] < budget && e.instr[th]+n >= budget {
 			e.finish[th] = e.wall + (budget-e.instr[th])*res.TPI[i]
 		}
 		e.instr[th] += n
@@ -746,7 +746,7 @@ func maxFloat(a, b float64) float64 {
 
 func (e *Engine) allFinished() bool {
 	for _, f := range e.finish {
-		if f == 0 {
+		if f <= 0 {
 			return false
 		}
 	}

@@ -6,6 +6,8 @@ package trace
 // from a splitmix64 PRNG seeded per (profile, core, seed), so runs are
 // bit-reproducible.
 
+import "coscale/internal/approx"
+
 // Rand is a splitmix64 PRNG: tiny, fast and deterministic.
 type Rand struct{ state uint64 }
 
@@ -68,7 +70,7 @@ const GeneratorRegionBytes = 1 << 33 // 8 GB per core
 // positioned against it); seed varies whole experiments.
 func NewGenerator(p *AppProfile, core int, budget, seed uint64) *Generator {
 	footMB := p.MRC.A * 1.5
-	if p.MRC.K == 0 {
+	if approx.Zero(p.MRC.K, 0) {
 		footMB = 0.5 // small working set: fits comfortably in a fair share
 	}
 	if footMB < 0.25 {

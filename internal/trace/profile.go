@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"coscale/internal/approx"
 )
 
 // Class labels the behavioural class a program belongs to (Table 1 grouping).
@@ -69,7 +71,7 @@ func (m MRC) MPKI(s, maxAPKI float64) float64 {
 		return maxAPKI
 	}
 	v := m.A
-	if m.K != 0 {
+	if !approx.Zero(m.K, 0) {
 		v = m.A * math.Pow(s, -m.K)
 	}
 	if v < m.Min {
@@ -197,7 +199,7 @@ func (p *AppProfile) Validate() error {
 	if p.L2APKI < 0 || p.MRC.A < 0 || p.MRC.Min < 0 {
 		return fmt.Errorf("trace: %s: negative rate", p.Name)
 	}
-	if p.MRC.A > p.L2APKI*1.001 && p.MRC.K == 0 {
+	if p.MRC.A > p.L2APKI*1.001 && approx.Zero(p.MRC.K, 0) {
 		return fmt.Errorf("trace: %s: constant MPKI %.3f exceeds L2APKI %.3f", p.Name, p.MRC.A, p.L2APKI)
 	}
 	if p.DirtyFrac < 0 || p.DirtyFrac > 1 {
@@ -212,7 +214,7 @@ func (p *AppProfile) Validate() error {
 	if p.PrefetchCoverage < 0 || p.PrefetchCoverage > 1 || p.PrefetchAccuracy < 0 || p.PrefetchAccuracy > 1 {
 		return fmt.Errorf("trace: %s: prefetch parameters outside [0,1]", p.Name)
 	}
-	if p.PrefetchCoverage > 0 && p.PrefetchAccuracy == 0 {
+	if p.PrefetchCoverage > 0 && approx.Zero(p.PrefetchAccuracy, 0) {
 		return fmt.Errorf("trace: %s: nonzero coverage with zero accuracy", p.Name)
 	}
 	prev := 0.0
@@ -247,6 +249,7 @@ func Lookup(name string) (*AppProfile, error) {
 func MustLookup(name string) *AppProfile {
 	p, err := Lookup(name)
 	if err != nil {
+		//lint:ignore nopanic Must* variant for statically known names; Lookup is the error path
 		panic(err)
 	}
 	return p
@@ -255,6 +258,7 @@ func MustLookup(name string) *AppProfile {
 // Names returns all registered application names in sorted order.
 func Names() []string {
 	out := make([]string, 0, len(registry))
+	//lint:ignore determinism keys are sorted before return
 	for n := range registry {
 		out = append(out, n)
 	}

@@ -19,9 +19,11 @@ var registry = map[string]*AppProfile{}
 
 func register(p *AppProfile) {
 	if err := p.Validate(); err != nil {
+		//lint:ignore nopanic init-time registry validation fails fast at process start
 		panic(err)
 	}
 	if _, dup := registry[p.Name]; dup {
+		//lint:ignore nopanic init-time registry validation fails fast at process start
 		panic("trace: duplicate profile " + p.Name)
 	}
 	registry[p.Name] = p

@@ -93,6 +93,7 @@ var mixes = map[string]Mix{}
 
 func addMix(name string, class trace.Class, mpki, wpki float64, apps ...string) {
 	if len(apps) != 4 {
+		//lint:ignore nopanic init-time mix-table validation fails fast at process start
 		panic("workload: mixes have exactly four applications")
 	}
 	for _, a := range apps {
@@ -134,6 +135,7 @@ func Get(name string) (Mix, error) {
 func MustGet(name string) Mix {
 	m, err := Get(name)
 	if err != nil {
+		//lint:ignore nopanic Must* variant for statically known names; Get is the error path
 		panic(err)
 	}
 	return m
