@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint test test-race bench fmt
+.PHONY: check build vet fmt-check lint test test-race bench bench-smoke bench-json fmt
 
 ## check: the full gate — tier-1 verify + vet + gofmt + coscale-lint
 check: build vet fmt-check lint test
@@ -21,6 +21,17 @@ test-race:
 ## bench: one iteration of every benchmark (compile + smoke, not timing)
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+## bench-smoke: the hot-path regression gate — alloc-budget tests plus one
+## iteration of the headline search/epoch benchmarks (mirrors CI's bench-smoke)
+bench-smoke:
+	$(GO) test -run 'ZeroAlloc|DeterministicUnderReuse|GoldenBitIdentical' -count=1 . ./internal/sim
+	$(GO) test -bench 'BenchmarkSearch16Cores|BenchmarkEpochSimulation' -benchtime=1x -benchmem -run='^$$' .
+
+## bench-json: regenerate BENCH_baseline.json (ns/op, allocs/op, figure
+## wall-times; see DESIGN.md §7 for the schema)
+bench-json:
+	$(GO) run ./cmd/coscale-bench -out BENCH_baseline.json
 
 vet:
 	$(GO) vet ./...

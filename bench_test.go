@@ -15,16 +15,11 @@ package coscale
 import (
 	"math"
 	"testing"
-	"time"
 
 	"coscale/internal/core"
 	"coscale/internal/dram"
 	"coscale/internal/experiments"
-	"coscale/internal/freq"
-	"coscale/internal/memsys"
-	"coscale/internal/perf"
 	"coscale/internal/policy"
-	"coscale/internal/power"
 	"coscale/internal/trace"
 )
 
@@ -143,9 +138,19 @@ func reportSweep(b *testing.B, rows []experiments.SensitivityRow, err error, fir
 		b.Fatal(err)
 	}
 	if first {
+		// Per-variant savings averaged over the four mixes of each sweep,
+		// surfaced as benchmark metrics so sensitivity regressions show up
+		// in plain -bench output (not just the formatted log).
 		avg := map[string]float64{}
+		variants := []string{}
 		for _, row := range rows {
+			if _, seen := avg[row.Variant]; !seen {
+				variants = append(variants, row.Variant)
+			}
 			avg[row.Variant] += row.Full / 4
+		}
+		for _, v := range variants {
+			b.ReportMetric(avg[v]*100, "avg-full-savings-%["+v+"]")
 		}
 		b.Logf("\n%s", experiments.FormatSensitivity(title, rows))
 	}
@@ -274,34 +279,7 @@ func BenchmarkAblation_ProfilingWindow(b *testing.B) {
 // measures <5 µs at 16 cores and projects 83/360 µs at 64/128 cores.
 
 func searchBenchObs(n int) (policy.Config, policy.Observation) {
-	cfg := policy.Config{
-		NCores:     n,
-		CoreLadder: freq.DefaultCoreLadder(),
-		MemLadder:  freq.DefaultMemLadder(),
-		Mem:        memsys.DefaultParams(),
-		Power:      power.DefaultSystem(n),
-		Gamma:      0.10,
-		EpochLen:   5 * time.Millisecond,
-	}
-	obs := policy.Observation{
-		Window:    300e-6,
-		CoreSteps: policy.ZeroSteps(n),
-		Cores:     make([]policy.CoreObs, n),
-		MemRate:   2e8, MemLatency: 60e-9, UtilBus: 0.3, BusyFrac: 0.6,
-	}
-	rng := trace.NewRand(11)
-	for i := range obs.Cores {
-		beta := 0.0005 + rng.Float64()*0.01
-		obs.Cores[i] = policy.CoreObs{
-			Instructions: 1_000_000,
-			Stats: perf.CoreStats{CPIBase: 1.1 + rng.Float64()*0.4, Alpha: 0.01,
-				StallL2: 7.5e-9, Beta: beta, MemPerInstr: beta * 1.4, MLP: 1},
-			L2PerInstr: 0.01,
-			Mix:        trace.InstrMix{ALU: 0.3, FPU: 0.2, Branch: 0.1, LoadStore: 0.3},
-			IPS:        2.5e9,
-		}
-	}
-	return cfg, obs
+	return experiments.SearchBenchObs(n)
 }
 
 func benchSearch(b *testing.B, n int) {

@@ -1,0 +1,137 @@
+// Command coscale-bench runs the headline performance benchmarks — the §3.1
+// search cost at 16/64/128 cores and the raw epoch-simulation throughput —
+// plus a timed figure regeneration, and writes the numbers as machine-readable
+// JSON. The committed BENCH_baseline.json at the repository root is this
+// program's output; regenerate it with `make bench-json` and compare against
+// the committed copy to spot hot-path regressions.
+//
+// Usage:
+//
+//	coscale-bench                      # print JSON to stdout
+//	coscale-bench -out BENCH_baseline.json
+//	coscale-bench -benchtime 2s -figure-budget 10000000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"coscale"
+	"coscale/internal/core"
+	"coscale/internal/experiments"
+)
+
+// Report is the BENCH_*.json schema (see DESIGN.md §7 for how to read it).
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOARCH     string      `json:"goarch"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []BenchRow  `json:"benchmarks"`
+	Figures    []FigureRow `json:"figures"`
+}
+
+// BenchRow records one testing.Benchmark result.
+type BenchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// FigureRow records the wall time of one figure regeneration.
+type FigureRow struct {
+	Name        string  `json:"name"`
+	InstrBudget uint64  `json:"instr_budget"`
+	Seconds     float64 `json:"seconds"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coscale-bench: ")
+
+	var (
+		out          = flag.String("out", "", "write JSON here instead of stdout")
+		benchtime    = flag.Duration("benchtime", time.Second, "minimum measurement time per benchmark")
+		epochBudget  = flag.Uint64("epoch-budget", 50_000_000, "instructions per app for the epoch-simulation benchmark")
+		figureBudget = flag.Uint64("figure-budget", 10_000_000, "instructions per app for the timed figure regeneration")
+	)
+	testing.Init() // registers -test.* flags so benchtime can be set below
+	flag.Parse()
+	// testing.Benchmark respects the -test.benchtime flag value.
+	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		log.Fatal(err)
+	}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Benchtime: benchtime.String(),
+	}
+
+	for _, n := range []int{16, 64, 128} {
+		n := n
+		rep.Benchmarks = append(rep.Benchmarks, bench(fmt.Sprintf("Search%dCores", n), func(b *testing.B) {
+			cfg, obs := experiments.SearchBenchObs(n)
+			cs := core.New(cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs.Decide(obs)
+			}
+		}))
+	}
+	rep.Benchmarks = append(rep.Benchmarks, bench("EpochSimulation", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := coscale.Run(coscale.Config{Workload: "MID1", InstructionBudget: *epochBudget}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Figure 8/9: the six-policy sweep whose shared-baseline caching this
+	// file's numbers guard (one baseline simulation per mix, not six).
+	r := experiments.NewRunner(*figureBudget)
+	start := time.Now()
+	if _, err := r.Figure8And9(); err != nil {
+		log.Fatal(err)
+	}
+	rep.Figures = append(rep.Figures, FigureRow{
+		Name:        "Figure8And9",
+		InstrBudget: *figureBudget,
+		Seconds:     time.Since(start).Seconds(),
+	})
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// bench runs one benchmark function under the standard harness and flattens
+// the result into a BenchRow.
+func bench(name string, fn func(b *testing.B)) BenchRow {
+	res := testing.Benchmark(fn)
+	return BenchRow{
+		Name:        name,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Iterations:  res.N,
+	}
+}

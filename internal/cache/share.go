@@ -37,7 +37,15 @@ func NewShareModel(sizeMB float64) *ShareModel {
 // access weights (accesses per kilo-instruction, phase-adjusted). A zero
 // total weight yields equal shares.
 func (m *ShareModel) Shares(weights []float64) []float64 {
-	out := make([]float64, len(weights))
+	return m.SharesInto(make([]float64, len(weights)), weights)
+}
+
+// SharesInto is Shares writing into out, which must have len(weights)
+// elements. It never allocates; the simulation hot path calls it with a
+// per-engine scratch slice every sub-interval (see DESIGN.md §7).
+//
+//hot:path
+func (m *ShareModel) SharesInto(out, weights []float64) []float64 {
 	if len(weights) == 0 {
 		return out
 	}

@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 
+	"coscale/internal/perf"
 	"coscale/internal/policy"
 )
 
@@ -38,6 +39,11 @@ type Options struct {
 }
 
 // CoScale is the coordinated CPU+memory DVFS controller.
+//
+// A controller owns its decision-time scratch — evaluators, search state,
+// slack/limit arrays — so Decide and Observe allocate nothing in steady
+// state (DESIGN.md §7). The Decision returned by Decide aliases that
+// scratch and is valid until the next Decide call.
 type CoScale struct {
 	cfg   policy.Config
 	opts  Options
@@ -45,6 +51,18 @@ type CoScale struct {
 
 	// last decision, re-used as the "settings in effect" for transitions.
 	last policy.Decision
+
+	// Steady-state scratch reused every epoch.
+	ev       *policy.Evaluator // Decide-time evaluator, reset per call
+	obsEv    *policy.Evaluator // Observe-time evaluator for the all-max reference
+	st       searchState
+	avail    []float64 // per-core slack
+	limits   []float64 // per-core slowdown limits
+	best     []int     // best step vector found by the walk
+	group    []int     // cores moved by the chosen group
+	moved    []bool    // membership scratch for repairCoreList
+	tmax     []float64 // all-max reference times for slack accounting
+	identity []int     // thread mapping fallback when ThreadIDs is nil
 }
 
 // New returns a CoScale controller for the given system.
@@ -56,11 +74,25 @@ func NewWithOptions(cfg policy.Config, opts Options) *CoScale {
 		//lint:ignore nopanic constructor contract: configs come from PolicyConfig, already validated by sim.New
 		panic(err)
 	}
+	n := cfg.NCores
 	return &CoScale{
 		cfg:   cfg,
 		opts:  opts,
-		slack: policy.NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve),
-		last:  policy.Decision{CoreSteps: policy.ZeroSteps(cfg.NCores)},
+		slack: policy.NewSlackBook(n, cfg.Gamma, cfg.Reserve),
+		last:  policy.Decision{CoreSteps: policy.ZeroSteps(n)},
+		ev:    &policy.Evaluator{},
+		obsEv: &policy.Evaluator{},
+		st: searchState{
+			steps:    make([]int, n),
+			coreList: make([]coreMarg, 0, n),
+		},
+		avail:    make([]float64, n),
+		limits:   make([]float64, n),
+		best:     make([]int, n),
+		group:    make([]int, 0, n),
+		moved:    make([]bool, n),
+		tmax:     make([]float64, n),
+		identity: make([]int, n),
 	}
 }
 
@@ -79,23 +111,56 @@ func (c *CoScale) Name() string {
 // Slack exposes the per-program slack trackers (for tests and telemetry).
 func (c *CoScale) Slack() *policy.SlackBook { return c.slack }
 
-// Observe implements policy.Policy: end-of-epoch slack accounting against
-// the all-max reference, per §3 "Overall operation".
-func (c *CoScale) Observe(epoch policy.Observation) {
-	tMax := policy.TMaxForEpoch(c.cfg, epoch, policy.ZeroSteps(c.cfg.NCores), 0)
-	c.slack.RecordEpochFor(epoch.CoreThreads(), tMax, epoch.Window)
+// threadsFor returns the thread-on-core mapping without allocating
+// (Observation.CoreThreads builds a fresh identity slice when ThreadIDs is
+// nil; the controller keeps its own).
+//
+//hot:path
+func (c *CoScale) threadsFor(obs policy.Observation) []int {
+	if obs.ThreadIDs != nil {
+		return obs.ThreadIDs
+	}
+	c.identity = perf.ResizeInts(c.identity, len(obs.Cores))
+	for i := range c.identity {
+		c.identity[i] = i
+	}
+	return c.identity
 }
 
-// Decide implements policy.Policy: the Figure 2 search.
+// Observe implements policy.Policy: end-of-epoch slack accounting against
+// the all-max reference, per §3 "Overall operation". The reference times are
+// the evaluator's all-max baseline — the same numbers TMaxForEpoch computes,
+// via the controller's persistent evaluator instead of a fresh one.
+//
+//hot:path
+func (c *CoScale) Observe(epoch policy.Observation) {
+	c.obsEv.Reset(c.cfg, epoch)
+	base := c.obsEv.Baseline()
+	c.tmax = perf.ResizeFloats(c.tmax, len(epoch.Cores))
+	for i := range epoch.Cores {
+		c.tmax[i] = float64(epoch.Cores[i].Instructions) * base.TPI[i]
+	}
+	c.slack.RecordEpochFor(c.threadsFor(epoch), c.tmax, epoch.Window)
+}
+
+// Decide implements policy.Policy: the Figure 2 search. The returned
+// Decision aliases the controller's scratch and is valid until the next
+// Decide call; retain with Clone.
+//
+//hot:path
 func (c *CoScale) Decide(obs policy.Observation) policy.Decision {
-	ev := policy.NewEvaluator(c.cfg, obs)
-	limits := c.cfg.Limits(c.slack.AvailableFor(obs.CoreThreads()))
-	d := c.search(ev, limits)
-	c.last = d.Clone()
+	c.ev.Reset(c.cfg, obs)
+	c.avail = c.slack.AvailableInto(c.avail, c.threadsFor(obs))
+	c.limits = c.cfg.LimitsInto(c.limits, c.avail)
+	d := c.search(c.ev, c.limits)
+	c.last.CoreSteps = perf.ResizeInts(c.last.CoreSteps, len(d.CoreSteps))
+	copy(c.last.CoreSteps, d.CoreSteps)
+	c.last.MemStep = d.MemStep
 	return d
 }
 
-// searchState carries the walk's mutable state.
+// searchState carries the walk's mutable state, persisting across decisions
+// so its buffers are reused.
 type searchState struct {
 	steps   []int
 	memStep int
@@ -104,17 +169,18 @@ type searchState struct {
 	// Cached marginals (Figure 2 lines 4-8).
 	memValid  bool
 	memMarg   marginal
+	memEval   policy.Eval // post-move prediction backing the memory marginal
 	coreValid bool
 	coreList  []coreMarg // eligible cores sorted ascending by dTPI
 }
 
-// marginal is a candidate move's cost/benefit.
+// marginal is a candidate move's cost/benefit. A feasible memory marginal's
+// post-move prediction lives in searchState.memEval.
 type marginal struct {
 	utility  float64 // Δpower / Δperformance
 	dPower   float64
 	dPerf    float64
 	feasible bool
-	eval     policy.Eval // post-move prediction (memory moves only)
 }
 
 // coreMarg is the locally estimated marginal of stepping one core down.
@@ -126,12 +192,28 @@ type coreMarg struct {
 	slowAfter float64 // predicted slowdown vs baseline after the step
 }
 
+// coreMargList sorts ascending by dTPI. It is sorted through a pointer so
+// the interface conversion does not copy (or allocate for) the slice header.
+type coreMargList []coreMarg
+
+func (l *coreMargList) Len() int           { return len(*l) }
+func (l *coreMargList) Less(a, b int) bool { return (*l)[a].dTPI < (*l)[b].dTPI }
+func (l *coreMargList) Swap(a, b int)      { (*l)[a], (*l)[b] = (*l)[b], (*l)[a] }
+
+//hot:path
 func (c *CoScale) search(ev *policy.Evaluator, limits []float64) policy.Decision {
 	n := c.cfg.NCores
-	st := &searchState{steps: policy.ZeroSteps(n)}
-	st.cur = ev.Evaluate(st.steps, 0)
+	st := &c.st
+	st.steps = perf.ResizeInts(st.steps, n)
+	st.memStep = 0
+	st.memValid, st.coreValid = false, false
+	// The walk starts at the all-max point the evaluator already solved for
+	// its baseline; copying it is bit-identical to re-evaluating zeros.
+	ev.EvaluateBaselineInto(&st.cur)
 
-	best := policy.Decision{CoreSteps: append([]int(nil), st.steps...), MemStep: 0}
+	c.best = perf.ResizeInts(c.best, n)
+	copy(c.best, st.steps)
+	bestMem := 0
 	bestSER := st.cur.SER
 
 	maxIters := (c.cfg.MemLadder.Steps() + c.cfg.CoreLadder.Steps()*n) + 4
@@ -147,25 +229,25 @@ func (c *CoScale) search(ev *policy.Evaluator, limits []float64) policy.Decision
 		}
 		// Figure 2 lines 6-8 / Figure 3: core-group marginal.
 		if !st.coreValid {
-			st.coreList = c.rebuildCoreList(ev, st, limits)
+			c.rebuildCoreList(ev, st, limits)
 			st.coreValid = true
 		}
-		group, groupMarg := c.bestGroup(ev, st, limits)
+		groupLen, groupMarg := c.bestGroup(st)
 
 		memOK := st.memMarg.feasible
-		coreOK := len(group) > 0
+		coreOK := groupLen > 0
 
 		switch {
 		case memOK && coreOK:
 			if st.memMarg.utility >= groupMarg.utility {
 				c.applyMemory(st)
 			} else {
-				c.applyGroup(ev, st, group, limits)
+				c.applyGroup(ev, st, groupLen, limits)
 			}
 		case memOK:
 			c.applyMemory(st)
 		case coreOK:
-			c.applyGroup(ev, st, group, limits)
+			c.applyGroup(ev, st, groupLen, limits)
 		default:
 			// Line 2: nothing can scale further.
 			iter = maxIters
@@ -181,52 +263,60 @@ func (c *CoScale) search(ev *policy.Evaluator, limits []float64) policy.Decision
 		// Line 20: record SER for the configuration just reached.
 		if st.cur.SER < bestSER {
 			bestSER = st.cur.SER
-			best = policy.Decision{CoreSteps: append([]int(nil), st.steps...), MemStep: st.memStep}
+			copy(c.best, st.steps)
+			bestMem = st.memStep
 		}
 	}
 	// Line 21-22: the combination with the smallest SER wins.
-	return best
+	return policy.Decision{CoreSteps: c.best, MemStep: bestMem}
 }
 
 // memoryMarginal evaluates one memory step down from the current state
-// (full joint model — memory affects every core).
+// (full joint model — memory affects every core). The candidate prediction
+// is left in st.memEval for applyMemory.
+//
+//hot:path
 func (c *CoScale) memoryMarginal(ev *policy.Evaluator, st *searchState, limits []float64) marginal {
 	if c.cfg.MemLadder.Bottom(st.memStep) {
 		return marginal{}
 	}
-	cand := ev.Evaluate(st.steps, st.memStep+1)
-	if !policy.WithinBound(cand, limits) {
+	ev.EvaluateInto(&st.memEval, st.steps, st.memStep+1)
+	if !policy.WithinBound(st.memEval, limits) {
 		return marginal{}
 	}
-	dPower := st.cur.Power.Total - cand.Power.Total
+	dPower := st.cur.Power.Total - st.memEval.Power.Total
 	// Δperformance: the highest performance loss of any core (§3.1).
 	dPerf := 0.0
-	for i := range cand.Slowdown {
-		if d := cand.Slowdown[i] - st.cur.Slowdown[i]; d > dPerf {
+	for i := range st.memEval.Slowdown {
+		if d := st.memEval.Slowdown[i] - st.cur.Slowdown[i]; d > dPerf {
 			dPerf = d
 		}
 	}
 	return marginal{utility: utility(dPower, dPerf), dPower: dPower, dPerf: dPerf,
-		feasible: true, eval: cand}
+		feasible: true}
 }
 
-// rebuildCoreList recomputes the Figure 3 eligibility list from scratch.
-// (Incremental repair after a group move is handled by repairCoreList; a
-// full rebuild happens only on the first iteration or with caching
-// disabled.)
-func (c *CoScale) rebuildCoreList(ev *policy.Evaluator, st *searchState, limits []float64) []coreMarg {
-	list := make([]coreMarg, 0, c.cfg.NCores)
+// rebuildCoreList recomputes the Figure 3 eligibility list from scratch into
+// st.coreList. (Incremental repair after a group move is handled by
+// repairCoreList; a full rebuild happens only on the first iteration or with
+// caching disabled.)
+//
+//hot:path
+func (c *CoScale) rebuildCoreList(ev *policy.Evaluator, st *searchState, limits []float64) {
+	list := st.coreList[:0]
 	for i := 0; i < c.cfg.NCores; i++ {
 		if m, ok := c.coreMarginal(ev, st, limits, i); ok {
 			list = append(list, m)
 		}
 	}
-	sort.Slice(list, func(a, b int) bool { return list[a].dTPI < list[b].dTPI })
-	return list
+	st.coreList = list
+	sort.Sort((*coreMargList)(&st.coreList))
 }
 
 // coreMarginal locally estimates the effect of stepping core i down once,
 // holding the memory system at its current modelled latency.
+//
+//hot:path
 func (c *CoScale) coreMarginal(ev *policy.Evaluator, st *searchState, limits []float64, i int) (coreMarg, bool) {
 	step := st.steps[i]
 	if c.cfg.CoreLadder.Bottom(step) {
@@ -259,11 +349,13 @@ func (c *CoScale) coreMarginal(ev *policy.Evaluator, st *searchState, limits []f
 }
 
 // bestGroup runs Figure 3 lines 3-7: consider the prefixes of the sorted
-// eligibility list as groups and return the one with the largest marginal
-// utility.
-func (c *CoScale) bestGroup(ev *policy.Evaluator, st *searchState, limits []float64) ([]int, marginal) {
+// eligibility list as groups and return the length of the one with the
+// largest marginal utility (0 = no eligible group).
+//
+//hot:path
+func (c *CoScale) bestGroup(st *searchState) (int, marginal) {
 	if len(st.coreList) == 0 {
-		return nil, marginal{}
+		return 0, marginal{}
 	}
 	limit := len(st.coreList)
 	if c.opts.DisableGrouping {
@@ -282,54 +374,74 @@ func (c *CoScale) bestGroup(ev *policy.Evaluator, st *searchState, limits []floa
 			bestMarg = marginal{utility: u, dPower: sumPower, dPerf: dPerf, feasible: true}
 		}
 	}
-	group := make([]int, 0, bestI+1)
-	for i := 0; i <= bestI; i++ {
-		group = append(group, st.coreList[i].core)
-	}
-	return group, bestMarg
+	return bestI + 1, bestMarg
 }
 
-// applyMemory commits a one-step memory reduction (already evaluated).
+// applyMemory commits a one-step memory reduction (already evaluated):
+// the candidate prediction in st.memEval becomes the current state, and the
+// old current Eval's buffers are recycled as the next candidate scratch.
+//
+//hot:path
 func (c *CoScale) applyMemory(st *searchState) {
 	st.memStep++
-	st.cur = st.memMarg.eval
+	st.cur, st.memEval = st.memEval, st.cur
 	st.memValid = false // memory frequency changed: marginal stale
 	// Core marginals are deliberately NOT invalidated (Figure 2 line 6
 	// recomputes them only when a core frequency changes) — but their
 	// latency assumption is refreshed lazily through the joint st.cur.
 }
 
-// applyGroup commits a one-step reduction for every core in group, then
-// repairs the sorted list (Figure 3 lines 1-2).
-func (c *CoScale) applyGroup(ev *policy.Evaluator, st *searchState, group []int, limits []float64) {
-	for _, i := range group {
+// applyGroup commits a one-step reduction for the first groupLen cores of
+// the sorted eligibility list, then repairs the list (Figure 3 lines 1-2).
+//
+//hot:path
+func (c *CoScale) applyGroup(ev *policy.Evaluator, st *searchState, groupLen int, limits []float64) {
+	c.group = c.group[:0]
+	for i := 0; i < groupLen; i++ {
+		c.group = append(c.group, st.coreList[i].core)
+	}
+	for _, i := range c.group {
 		st.steps[i]++
 	}
-	st.cur = ev.Evaluate(st.steps, st.memStep)
+	ev.EvaluateInto(&st.cur, st.steps, st.memStep)
 	st.memValid = false // traffic changed; memory marginal must be re-evaluated
-	c.repairCoreList(ev, st, group, limits)
+	c.repairCoreList(ev, st, c.group, limits)
 }
 
 // repairCoreList removes the moved cores and re-inserts their fresh
 // marginals, keeping the ascending dTPI order without a full sort.
+//
+//hot:path
 func (c *CoScale) repairCoreList(ev *policy.Evaluator, st *searchState, moved []int, limits []float64) {
-	movedSet := make(map[int]bool, len(moved))
+	for i := range c.moved {
+		c.moved[i] = false
+	}
 	for _, i := range moved {
-		movedSet[i] = true
+		c.moved[i] = true
 	}
 	kept := st.coreList[:0]
 	for _, m := range st.coreList {
-		if !movedSet[m.core] {
+		if !c.moved[m.core] {
 			kept = append(kept, m)
 		}
 	}
 	st.coreList = kept
 	for _, i := range moved {
 		if m, ok := c.coreMarginal(ev, st, limits, i); ok {
-			pos := sort.Search(len(st.coreList), func(j int) bool { return st.coreList[j].dTPI >= m.dTPI })
+			// First position whose dTPI is >= m.dTPI (inline binary
+			// search: the sort.Search closure would allocate).
+			lo, hi := 0, len(st.coreList)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if st.coreList[mid].dTPI >= m.dTPI {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
 			st.coreList = append(st.coreList, coreMarg{})
-			copy(st.coreList[pos+1:], st.coreList[pos:])
-			st.coreList[pos] = m
+			copy(st.coreList[lo+1:], st.coreList[lo:])
+			st.coreList[lo] = m
 		}
 	}
 	st.coreValid = true

@@ -246,6 +246,47 @@ func (s *System) Snapshot() System {
 	return out
 }
 
+// SnapshotInto deep-copies the current counter state into dst, reusing
+// dst's slices when their capacities suffice. The allocation-free form of
+// Snapshot used by the per-epoch hot path (see DESIGN.md §7).
+//
+//hot:path
+func (s *System) SnapshotInto(dst *System) {
+	dst.Cores = resizeCores(dst.Cores, len(s.Cores))
+	dst.Channels = resizeChannels(dst.Channels, len(s.Channels))
+	copy(dst.Cores, s.Cores)
+	copy(dst.Channels, s.Channels)
+}
+
+// SubInto writes the element-wise deltas s - start into dst, reusing dst's
+// slices. The allocation-free form of Sub.
+//
+//hot:path
+func (s *System) SubInto(dst *System, start *System) {
+	dst.Cores = resizeCores(dst.Cores, len(s.Cores))
+	dst.Channels = resizeChannels(dst.Channels, len(s.Channels))
+	for i := range s.Cores {
+		dst.Cores[i] = s.Cores[i].Sub(start.Cores[i])
+	}
+	for i := range s.Channels {
+		dst.Channels[i] = s.Channels[i].Sub(start.Channels[i])
+	}
+}
+
+func resizeCores(s []Core, n int) []Core {
+	if cap(s) < n {
+		return make([]Core, n)
+	}
+	return s[:n]
+}
+
+func resizeChannels(s []Channel, n int) []Channel {
+	if cap(s) < n {
+		return make([]Channel, n)
+	}
+	return s[:n]
+}
+
 // Sub returns the element-wise deltas s - start. The two snapshots must have
 // identical shapes.
 func (s System) Sub(start System) System {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"coscale/internal/core"
 	"coscale/internal/policy"
@@ -74,15 +75,41 @@ type Runner struct {
 	// Parallel bounds concurrent simulation runs (default NumCPU).
 	Parallel int
 
-	mu    sync.Mutex
-	cache map[string]*Outcome
+	mu        sync.Mutex
+	cache     map[string]*outcomeCall  // keyed mix/policy/keyExtra
+	baselines map[string]*baselineCall // keyed mix/keyExtra — shared across policies
+
+	baselineRuns atomic.Int64 // baseline simulations actually executed
+}
+
+// outcomeCall and baselineCall are singleflight slots: the first caller to
+// claim a key runs the simulation inside the Once while later callers (and
+// concurrent ones) block on it and share the same result pointer. Errors are
+// cached too — simulations are deterministic, so a retry would fail the same
+// way.
+type outcomeCall struct {
+	once sync.Once
+	out  *Outcome
+	err  error
+}
+
+type baselineCall struct {
+	once sync.Once
+	res  *sim.Result
+	err  error
 }
 
 // NewRunner returns a Runner with the given instruction budget (0 = paper
 // default).
 func NewRunner(budget uint64) *Runner {
-	return &Runner{InstrBudget: budget, cache: map[string]*Outcome{}}
+	return &Runner{InstrBudget: budget}
 }
+
+// BaselineRuns reports how many baseline simulations the runner actually
+// executed (as opposed to served from the shared per-(mix, keyExtra) cache) —
+// telemetry for tests asserting the Figure 8/9 sweep runs one baseline per
+// mix, not one per policy.
+func (r *Runner) BaselineRuns() int64 { return r.baselineRuns.Load() }
 
 // Outcome pairs a policy run with its matching baseline.
 type Outcome struct {
@@ -137,51 +164,80 @@ func (o *Outcome) WorstDegradation() float64 {
 // Execute runs (and caches) a policy against its baseline under cfg. The
 // mix, policy and every cfg field that alters behaviour participate in the
 // cache key via keyExtra.
+//
+// The no-DVFS baseline does not depend on the policy, so it is computed once
+// per (mix, keyExtra) and shared — a six-policy sweep over a mix runs one
+// baseline simulation, not six, and every Outcome for that mix holds the
+// same *sim.Result pointer in Base. Concurrent Executes on overlapping keys
+// are deduplicated singleflight-style: one goroutine simulates, the rest
+// wait for its result.
 func (r *Runner) Execute(mixName string, pol PolicyName, mutate func(*sim.Config), keyExtra string) (*Outcome, error) {
 	key := mixName + "/" + string(pol) + "/" + keyExtra
 	r.mu.Lock()
 	if r.cache == nil {
-		r.cache = map[string]*Outcome{}
+		r.cache = map[string]*outcomeCall{}
 	}
-	if o, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return o, nil
+	c, ok := r.cache[key]
+	if !ok {
+		c = &outcomeCall{}
+		r.cache[key] = c
 	}
 	r.mu.Unlock()
+	c.once.Do(func() {
+		c.out, c.err = r.execute(mixName, pol, mutate, keyExtra)
+	})
+	return c.out, c.err
+}
 
-	mkCfg := func() sim.Config {
-		cfg := sim.Config{Mix: workload.MustGet(mixName), InstrBudget: r.InstrBudget}
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		return cfg
-	}
-	runOne := func(p PolicyName) (*sim.Result, error) {
-		cfg := mkCfg()
-		cfg.Policy = NewPolicy(p, cfg.PolicyConfig())
-		eng, err := sim.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return eng.Run()
-	}
-
-	base, err := runOne(Baseline)
+// execute performs the (cache-miss) simulation work behind Execute.
+func (r *Runner) execute(mixName string, pol PolicyName, mutate func(*sim.Config), keyExtra string) (*Outcome, error) {
+	base, err := r.baseline(mixName, mutate, keyExtra)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: baseline %s: %w", mixName, err)
 	}
 	run := base
 	if pol != Baseline {
-		run, err = runOne(pol)
+		run, err = r.runOne(mixName, pol, mutate)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s on %s: %w", pol, mixName, err)
 		}
 	}
-	o := &Outcome{Base: base, Run: run}
+	return &Outcome{Base: base, Run: run}, nil
+}
+
+// baseline returns the shared no-DVFS run for (mixName, keyExtra), simulating
+// it at most once across all policies and goroutines.
+func (r *Runner) baseline(mixName string, mutate func(*sim.Config), keyExtra string) (*sim.Result, error) {
+	key := mixName + "/" + keyExtra
 	r.mu.Lock()
-	r.cache[key] = o
+	if r.baselines == nil {
+		r.baselines = map[string]*baselineCall{}
+	}
+	b, ok := r.baselines[key]
+	if !ok {
+		b = &baselineCall{}
+		r.baselines[key] = b
+	}
 	r.mu.Unlock()
-	return o, nil
+	b.once.Do(func() {
+		r.baselineRuns.Add(1)
+		b.res, b.err = r.runOne(mixName, Baseline, mutate)
+	})
+	return b.res, b.err
+}
+
+// runOne simulates a single (mix, policy) configuration.
+func (r *Runner) runOne(mixName string, pol PolicyName, mutate func(*sim.Config)) (*sim.Result, error) {
+	cfg := sim.Config{Mix: workload.MustGet(mixName), InstrBudget: r.InstrBudget}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cfg.Policy = NewPolicy(pol, cfg.PolicyConfig())
+	eng, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
 }
 
 // forEach runs fn for every item with bounded parallelism, collecting the

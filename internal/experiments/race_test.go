@@ -42,6 +42,53 @@ func TestRunnerConcurrentExecute(t *testing.T) {
 	}
 }
 
+// TestBaselineSharedUnderConcurrency runs every practical policy on one mix
+// from concurrent goroutines and asserts the no-DVFS baseline was simulated
+// exactly once and is shared by pointer: every Outcome.Base must be the SAME
+// *sim.Result, not merely an equal one. This is the dedup behind the Figure
+// 8/9 sweep running one baseline per mix instead of one per policy.
+func TestBaselineSharedUnderConcurrency(t *testing.T) {
+	t.Parallel()
+	r := NewRunner(raceBudget)
+	r.Parallel = 2
+	outcomes := make([]*Outcome, len(PracticalPolicies))
+	errs := make([]error, len(PracticalPolicies))
+	var wg sync.WaitGroup
+	for i, pol := range PracticalPolicies {
+		wg.Add(1)
+		go func(i int, pol PolicyName) {
+			defer wg.Done()
+			outcomes[i], errs[i] = r.Execute("MID1", pol, nil, "race-shared")
+		}(i, pol)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", PracticalPolicies[i], err)
+		}
+	}
+	for i, o := range outcomes {
+		if o.Base != outcomes[0].Base {
+			t.Errorf("%s: baseline pointer %p differs from %p — baseline not shared",
+				PracticalPolicies[i], o.Base, outcomes[0].Base)
+		}
+	}
+	if got := r.BaselineRuns(); got != 1 {
+		t.Errorf("baseline simulated %d times, want exactly 1", got)
+	}
+	// A different keyExtra must NOT share the baseline (mutate may differ).
+	o2, err := r.Execute("MID1", CoScaleName, nil, "race-shared-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Base == outcomes[0].Base {
+		t.Error("baseline shared across distinct keyExtra values")
+	}
+	if got := r.BaselineRuns(); got != 2 {
+		t.Errorf("baseline runs after second keyExtra = %d, want 2", got)
+	}
+}
+
 // TestRunnerForEachParallel drives the bounded-parallelism sweep helper the
 // way the figure generators do: each worker writes its own row while
 // sharing the runner's cache.

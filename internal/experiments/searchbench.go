@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"time"
+
+	"coscale/internal/freq"
+	"coscale/internal/memsys"
+	"coscale/internal/perf"
+	"coscale/internal/policy"
+	"coscale/internal/power"
+	"coscale/internal/trace"
+)
+
+// SearchBenchObs builds the synthetic profiling observation behind the §3.1
+// search-cost benchmarks (BenchmarkSearch16/64/128Cores) and cmd/coscale-bench:
+// n cores with deterministic pseudo-random memory intensities on the paper's
+// default system. One definition keeps `go test -bench Search` and the
+// BENCH_baseline.json generator measuring the same workload.
+func SearchBenchObs(n int) (policy.Config, policy.Observation) {
+	cfg := policy.Config{
+		NCores:     n,
+		CoreLadder: freq.DefaultCoreLadder(),
+		MemLadder:  freq.DefaultMemLadder(),
+		Mem:        memsys.DefaultParams(),
+		Power:      power.DefaultSystem(n),
+		Gamma:      0.10,
+		EpochLen:   5 * time.Millisecond,
+	}
+	obs := policy.Observation{
+		Window:    300e-6,
+		CoreSteps: policy.ZeroSteps(n),
+		Cores:     make([]policy.CoreObs, n),
+		MemRate:   2e8, MemLatency: 60e-9, UtilBus: 0.3, BusyFrac: 0.6,
+	}
+	rng := trace.NewRand(11)
+	for i := range obs.Cores {
+		beta := 0.0005 + rng.Float64()*0.01
+		obs.Cores[i] = policy.CoreObs{
+			Instructions: 1_000_000,
+			Stats: perf.CoreStats{CPIBase: 1.1 + rng.Float64()*0.4, Alpha: 0.01,
+				StallL2: 7.5e-9, Beta: beta, MemPerInstr: beta * 1.4, MLP: 1},
+			L2PerInstr: 0.01,
+			Mix:        trace.InstrMix{ALU: 0.3, FPU: 0.2, Branch: 0.1, LoadStore: 0.3},
+			IPS:        2.5e9,
+		}
+	}
+	return cfg, obs
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc guards the allocation discipline of DESIGN.md §7: functions whose
+// doc comment carries a //hot:path marker run every epoch (the engine's step
+// chain) or every decision (the CoScale search chain) and must not allocate
+// in steady state. A make() call inside such a function is reported unless
+// the line (or the line above) carries a //hot:alloc-ok <reason> directive —
+// the escape hatch for capacity-miss grow paths, which by construction run
+// only until the scratch buffers are warm.
+//
+// The marker is matched in the function's doc comment as a standalone
+// //hot:path line, exactly the convention the hand-marked hot paths already
+// follow. Allocation via helpers (perf.ResizeFloats and friends) is the
+// sanctioned pattern and is untouched: the make lives in the helper, which
+// is deliberately not marked.
+var HotAlloc = &Analyzer{
+	Name:  "hotalloc",
+	Doc:   "forbid make() in //hot:path functions without a //hot:alloc-ok justification",
+	Match: internalPackages,
+	Run:   runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		allowed, malformed := collectAllocOK(pass, f)
+		for _, d := range malformed {
+			pass.Reportf(d, `malformed directive: want "//hot:alloc-ok <reason>"`)
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "make" {
+					return true
+				}
+				if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
+					return true
+				}
+				if allowed[pass.Fset.Position(call.Pos()).Line] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"make() in //hot:path function %s; reuse a scratch buffer, or justify the cold path with //hot:alloc-ok <reason>",
+					fn.Name.Name)
+				return true
+			})
+		}
+	}
+}
+
+// isHotPath reports whether the function's doc comment contains a standalone
+// //hot:path marker line.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == "//hot:path" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllocOK gathers //hot:alloc-ok directives: each one licenses
+// allocations on its own line and on the following line. Directives missing
+// a reason are returned for reporting.
+func collectAllocOK(pass *Pass, f *ast.File) (map[int]bool, []token.Pos) {
+	allowed := map[int]bool{}
+	var malformed []token.Pos
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//hot:alloc-ok")
+			if !ok {
+				continue
+			}
+			if strings.TrimSpace(rest) == "" {
+				malformed = append(malformed, c.Pos())
+				continue
+			}
+			line := pass.Fset.Position(c.Pos()).Line
+			allowed[line] = true
+			allowed[line+1] = true
+		}
+	}
+	return allowed, malformed
+}

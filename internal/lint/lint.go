@@ -77,7 +77,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in stable presentation order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{FloatEq, UnitLiteral, Determinism, NoPanic, NoPrint}
+	return []*Analyzer{FloatEq, UnitLiteral, Determinism, NoPanic, NoPrint, HotAlloc}
 }
 
 // internalPackages scopes a rule to library code under internal/.

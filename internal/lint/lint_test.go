@@ -25,6 +25,7 @@ var fixtureGroups = []struct {
 	{"determinism", []string{"sim/determbad", "sim/determclean", "dram/determexempt"}},
 	{"nopanic", []string{"nopanic/bad", "nopanic/clean"}},
 	{"noprint", []string{"noprint/bad", "noprint/clean"}},
+	{"hotalloc", []string{"hotalloc/bad", "hotalloc/clean"}},
 	{"ignore", []string{"ignore/bad"}},
 }
 
@@ -88,6 +89,7 @@ func TestBadFixturesFindEachRule(t *testing.T) {
 		"determinism": "sim/determbad",
 		"nopanic":     "nopanic/bad",
 		"noprint":     "noprint/bad",
+		"hotalloc":    "hotalloc/bad",
 		"lint":        "ignore/bad",
 	}
 	for rule, rel := range cases {
@@ -112,7 +114,7 @@ func TestBadFixturesFindEachRule(t *testing.T) {
 // every violating package must fail the build, every clean one must pass.
 func TestDriverExitCodes(t *testing.T) {
 	testdata := testdataDir(t)
-	bad := []string{"floateq/bad", "unitliteral/bad", "sim/determbad", "nopanic/bad", "noprint/bad", "ignore/bad"}
+	bad := []string{"floateq/bad", "unitliteral/bad", "sim/determbad", "nopanic/bad", "noprint/bad", "hotalloc/bad", "ignore/bad"}
 	for _, rel := range bad {
 		var out, errOut bytes.Buffer
 		if code := Main([]string{filepath.Join(testdata, "src", rel)}, &out, &errOut); code != ExitFindings {
@@ -120,7 +122,7 @@ func TestDriverExitCodes(t *testing.T) {
 				rel, code, ExitFindings, out.String(), errOut.String())
 		}
 	}
-	clean := []string{"floateq/clean", "unitliteral/clean", "sim/determclean", "dram/determexempt", "nopanic/clean", "noprint/clean"}
+	clean := []string{"floateq/clean", "unitliteral/clean", "sim/determclean", "dram/determexempt", "nopanic/clean", "noprint/clean", "hotalloc/clean"}
 	args := make([]string, len(clean))
 	for i, rel := range clean {
 		args[i] = filepath.Join(testdata, "src", rel)

@@ -1,0 +1,36 @@
+// Package bad holds hotalloc violations: raw allocations inside //hot:path
+// functions.
+package bad
+
+// sum adds per-core weights every epoch.
+//
+//hot:path
+func sum(n int) float64 {
+	buf := make([]float64, n) // unjustified allocation on a hot path
+	total := 0.0
+	for i := range buf {
+		buf[i] = float64(i)
+		total += buf[i]
+	}
+	return total
+}
+
+// index builds a lookup table inside the decision loop.
+//
+//hot:path
+func index(keys []int) map[int]int {
+	m := make(map[int]int, len(keys))
+	for i, k := range keys {
+		m[k] = i
+	}
+	return m
+}
+
+// noted has a directive without the mandatory reason, which is itself a
+// finding (and does not suppress the make).
+//
+//hot:path
+func noted(n int) []int {
+	//hot:alloc-ok
+	return make([]int, n)
+}

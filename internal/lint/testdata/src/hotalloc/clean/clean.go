@@ -1,0 +1,40 @@
+// Package clean holds hotalloc-conforming code: scratch reuse on hot paths,
+// justified cold-path growth, and free allocation off the hot paths.
+package clean
+
+type engine struct {
+	scratch []float64
+}
+
+// step reuses the engine's scratch buffer; growth happens only on a
+// capacity miss, which the directive licenses.
+//
+//hot:path
+func (e *engine) step(n int) float64 {
+	if cap(e.scratch) < n {
+		e.scratch = make([]float64, n) //hot:alloc-ok capacity miss: runs once until warm
+	}
+	e.scratch = e.scratch[:n]
+	total := 0.0
+	for i := range e.scratch {
+		e.scratch[i] = float64(i)
+		total += e.scratch[i]
+	}
+	return total
+}
+
+// grow carries the directive on its own line above the make.
+//
+//hot:path
+func grow(dst []int, n int) []int {
+	if cap(dst) < n {
+		//hot:alloc-ok capacity miss: amortized to zero in steady state
+		dst = make([]int, n)
+	}
+	return dst[:n]
+}
+
+// cold is not marked and may allocate freely.
+func cold(n int) []float64 {
+	return make([]float64, n)
+}

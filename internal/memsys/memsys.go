@@ -78,21 +78,55 @@ type Load struct {
 // across all channels). Requests interleave evenly across channels and
 // banks.
 func (p Params) Evaluate(busHz, reqPerSec float64) Load {
+	return p.ModelAt(busHz).Evaluate(reqPerSec)
+}
+
+// LoadModel is Params with the bus-frequency-dependent service times
+// precomputed, for callers that evaluate many request rates at one busHz
+// (the solver's fixed-point loop). Evaluate performs the same arithmetic on
+// the same values as Params.Evaluate, so results are bit-identical.
+type LoadModel struct {
+	invalid  bool // busHz <= 0
+	channels float64
+	banks    float64
+	maxUtil  float64
+	sBus     float64
+	sBank    float64
+	bankOcc  float64
+}
+
+// ModelAt precomputes the service-time constants at one bus frequency.
+func (p Params) ModelAt(busHz float64) LoadModel {
 	if busHz <= 0 {
+		return LoadModel{invalid: true}
+	}
+	return LoadModel{
+		channels: float64(p.Channels),
+		banks:    float64(p.BanksPerChannel),
+		maxUtil:  p.MaxUtil,
+		sBus:     p.SBus(busHz),
+		sBank:    p.SBank(busHz),
+		bankOcc:  p.BankOccupancy(busHz),
+	}
+}
+
+// Evaluate computes the queueing state at an aggregate request rate.
+//
+//hot:path
+func (m LoadModel) Evaluate(reqPerSec float64) Load {
+	if m.invalid {
 		return Load{Latency: math.Inf(1), XiBus: 1, XiBank: 1}
 	}
-	perChan := reqPerSec / float64(p.Channels)
-	sBus := p.SBus(busHz)
-	sBank := p.SBank(busHz)
+	perChan := reqPerSec / m.channels
 
-	uBus := clampUtil(perChan*sBus, p.MaxUtil)
-	uBank := clampUtil(perChan*p.BankOccupancy(busHz)/float64(p.BanksPerChannel), p.MaxUtil)
+	uBus := clampUtil(perChan*m.sBus, m.maxUtil)
+	uBank := clampUtil(perChan*m.bankOcc/m.banks, m.maxUtil)
 
 	xiBus := 1 / (1 - uBus)
 	xiBank := 1 / (1 - uBank)
 
 	return Load{
-		Latency:  xiBank * (sBank + xiBus*sBus),
+		Latency:  xiBank * (m.sBank + xiBus*m.sBus),
 		XiBus:    xiBus,
 		XiBank:   xiBank,
 		UtilBus:  uBus,

@@ -64,13 +64,25 @@ type Result struct {
 	Iterations int         // fixed-point iterations used
 }
 
-// Solver couples the per-core model to the memory queueing model.
+// Solver couples the per-core model to the memory queueing model. A Solver
+// carries scratch buffers for the fixed-point iteration, so concurrent calls
+// on one Solver are not safe; give each goroutine its own.
 type Solver struct {
 	Mem memsys.Params
 	// Tol is the convergence tolerance on relative TPI change
 	// (default 1e-9); MaxIter bounds iterations (default 60).
 	Tol     float64
 	MaxIter int
+
+	// Per-solve constants hoisted out of the fixed-point loop: for core i,
+	// fixed[i] = CPIBase/coreHz + Alpha*StallL2 (the latency-independent TPI
+	// terms), beta[i] and mpi[i] mirror the CoreStats fields, and mlpn[i] is
+	// MLP clamped to >= 1, with 0 as the sentinel for coreHz <= 0 (infinite
+	// TPI).
+	fixed []float64
+	beta  []float64
+	mlpn  []float64
+	mpi   []float64
 }
 
 // NewSolver returns a Solver over the given memory parameters with default
@@ -87,6 +99,17 @@ func NewSolver(mem memsys.Params) *Solver {
 //
 // coreHz[i] is core i's frequency; busHz is the memory bus frequency.
 func (sv *Solver) Solve(cores []CoreStats, coreHz []float64, busHz float64) Result {
+	var res Result
+	sv.SolveInto(&res, cores, coreHz, busHz)
+	return res
+}
+
+// SolveInto is Solve writing into res, reusing res.TPI/res.IPS when their
+// capacities suffice — the allocation-free form the simulation and search
+// hot paths use (see DESIGN.md §7). The result is bit-identical to Solve's.
+//
+//hot:path
+func (sv *Solver) SolveInto(res *Result, cores []CoreStats, coreHz []float64, busHz float64) {
 	if len(cores) != len(coreHz) {
 		//lint:ignore nopanic caller bug, not an input error: slices are built pairwise by the engine
 		panic("perf: cores and coreHz length mismatch")
@@ -100,18 +123,49 @@ func (sv *Solver) Solve(cores []CoreStats, coreHz []float64, busHz float64) Resu
 		maxIter = 60
 	}
 
-	res := Result{
-		TPI: make([]float64, len(cores)),
-		IPS: make([]float64, len(cores)),
+	n := len(cores)
+	res.TPI = ResizeFloats(res.TPI, n)
+	res.IPS = ResizeFloats(res.IPS, n)
+	res.MemRate = 0
+
+	// Hoist everything constant across iterations: the memory service times
+	// at busHz, and each core's latency-independent TPI terms. The remaining
+	// per-iteration arithmetic — fixed + (Beta*latency)/mlp — performs the
+	// same operations on the same values as CoreStats.TPI, so the fixed
+	// point reached is bit-identical.
+	sv.fixed = ResizeFloats(sv.fixed, n)
+	sv.beta = ResizeFloats(sv.beta, n)
+	sv.mlpn = ResizeFloats(sv.mlpn, n)
+	sv.mpi = ResizeFloats(sv.mpi, n)
+	for i, c := range cores {
+		sv.beta[i] = c.Beta
+		sv.mpi[i] = c.MemPerInstr
+		if coreHz[i] <= 0 {
+			continue // mlpn[i] stays 0: the infinite-TPI sentinel
+		}
+		mlp := c.MLP
+		if mlp < 1 {
+			mlp = 1
+		}
+		sv.mlpn[i] = mlp
+		sv.fixed[i] = c.CPIBase/coreHz[i] + c.Alpha*c.StallL2
 	}
+	model := sv.Mem.ModelAt(busHz)
+
 	// Start from the unloaded latency.
-	load := sv.Mem.Evaluate(busHz, 0)
+	load := model.Evaluate(0)
 	var iter int
 	for iter = 0; iter < maxIter; iter++ {
 		rate := 0.0
 		maxRel := 0.0
-		for i, c := range cores {
-			tpi := c.TPI(coreHz[i], load.Latency)
+		lat := load.Latency
+		for i := range sv.fixed {
+			var tpi float64
+			if m := sv.mlpn[i]; m > 0 {
+				tpi = sv.fixed[i] + sv.beta[i]*lat/m
+			} else {
+				tpi = math.Inf(1)
+			}
 			if prev := res.TPI[i]; prev > 0 {
 				rel := math.Abs(tpi-prev) / prev
 				if rel > maxRel {
@@ -126,21 +180,46 @@ func (sv *Solver) Solve(cores []CoreStats, coreHz []float64, busHz float64) Resu
 			} else {
 				res.IPS[i] = 0
 			}
-			rate += res.IPS[i] * c.MemPerInstr
+			rate += res.IPS[i] * sv.mpi[i]
 		}
 		// Damp the rate to avoid oscillation near saturation.
 		if iter > 0 {
 			rate = 0.5*rate + 0.5*res.MemRate
 		}
 		res.MemRate = rate
-		load = sv.Mem.Evaluate(busHz, rate)
+		load = model.Evaluate(rate)
 		if iter > 0 && maxRel < tol {
 			break
 		}
 	}
 	res.Mem = load
 	res.Iterations = iter + 1
-	return res
+}
+
+// ResizeFloats returns s resized to length n, reusing its backing array when
+// the capacity suffices (elements are zeroed) and allocating otherwise. It
+// is the shared growth helper behind the hot paths' scratch buffers.
+func ResizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// ResizeInts is ResizeFloats for int slices.
+func ResizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // SolveUniform is a convenience wrapper for configurations where all cores

@@ -43,11 +43,23 @@ type Config struct {
 // Limits computes the per-core slowdown limits for the next epoch from
 // accumulated slack, after withholding the transition reserve.
 func (c Config) Limits(slack []float64) []float64 {
-	adj := make([]float64, len(slack))
-	for i, s := range slack {
-		adj[i] = s - c.Reserve
+	return c.LimitsInto(nil, slack)
+}
+
+// LimitsInto is Limits writing into dst, reusing dst's backing array when
+// its capacity suffices (dst may alias slack). The allocation-free form
+// used by CoScale's decision hot path (see DESIGN.md §7).
+//
+//hot:path
+func (c Config) LimitsInto(dst, slack []float64) []float64 {
+	if cap(dst) < len(slack) {
+		dst = make([]float64, len(slack)) //hot:alloc-ok capacity miss: runs once until the caller's scratch is warm
 	}
-	return MaxSlowdowns(adj, c.EpochLen.Seconds(), c.Gamma)
+	dst = dst[:len(slack)]
+	for i, s := range slack {
+		dst[i] = s - c.Reserve
+	}
+	return MaxSlowdownsInto(dst, dst, c.EpochLen.Seconds(), c.Gamma)
 }
 
 // Validate checks the configuration is usable.
@@ -85,6 +97,11 @@ type CoreObs struct {
 // Observation is what a controller sees after a profiling window: per-core
 // profiles plus memory-subsystem aggregates, all derived from the §3.3
 // performance counters, and the settings that were in effect.
+//
+// The simulation engine reuses an observation's backing slices between
+// epochs (DESIGN.md §7): CoreSteps, ThreadIDs and Cores are valid only for
+// the duration of the Decide/Observe call. A policy that retains any of
+// them must copy (see Clone).
 type Observation struct {
 	Window    float64 // seconds of wall time profiled
 	CoreSteps []int   // settings in effect while profiling
@@ -101,6 +118,15 @@ type Observation struct {
 	MemLatency float64 // average request latency observed, seconds
 	UtilBus    float64 // observed bus utilization
 	BusyFrac   float64 // observed fraction of time ranks were busy (not powered down)
+}
+
+// Clone returns a deep copy whose slices do not alias the engine's reusable
+// observation buffers, for callers that retain observations across epochs.
+func (o Observation) Clone() Observation {
+	o.CoreSteps = append([]int(nil), o.CoreSteps...)
+	o.ThreadIDs = append([]int(nil), o.ThreadIDs...)
+	o.Cores = append([]CoreObs(nil), o.Cores...)
+	return o
 }
 
 // CoreThreads returns the thread-on-core mapping, defaulting to identity.
@@ -146,7 +172,10 @@ type OraclePolicy interface {
 }
 
 // Evaluator predicts performance, power and SER for candidate frequency
-// combinations against a fixed observation. It is rebuilt once per decision.
+// combinations against a fixed observation. It is re-pointed at a fresh
+// observation once per decision — either rebuilt with NewEvaluator or, on
+// hot paths, recycled in place with Reset so its work arrays are reused
+// (DESIGN.md §7).
 type Evaluator struct {
 	Cfg    Config
 	Solver *perf.Solver
@@ -156,6 +185,12 @@ type Evaluator struct {
 	busyPerReq float64 // measured rank-busy time per request, for power prediction
 
 	baseline Eval // all components at maximum frequency
+
+	// Steady-state scratch reused across Evaluate calls.
+	solveRes perf.Result
+	hz       []float64
+	cores    []power.CoreOp
+	maxSteps []int
 }
 
 // Eval is the predicted outcome of one frequency combination.
@@ -171,22 +206,43 @@ type Eval struct {
 // NewEvaluator builds an evaluator for obs using the counter-derived
 // per-core statistics.
 func NewEvaluator(cfg Config, obs Observation) *Evaluator {
-	ev := &Evaluator{Cfg: cfg, Solver: perf.NewSolver(cfg.Mem), obs: obs}
+	ev := &Evaluator{}
+	ev.Reset(cfg, obs)
+	return ev
+}
+
+// Reset re-points the evaluator at a new observation, recomputing the
+// statistics and the all-max baseline while reusing every work array. A
+// reset evaluator is indistinguishable from a freshly constructed one.
+//
+//hot:path
+func (ev *Evaluator) Reset(cfg Config, obs Observation) {
+	ev.Cfg = cfg
+	if ev.Solver == nil {
+		ev.Solver = perf.NewSolver(cfg.Mem)
+	} else {
+		ev.Solver.Mem = cfg.Mem
+	}
 	// Controller-side predictions need far less precision than ground
 	// truth; a looser fixed-point tolerance keeps the §3.1 search cheap.
 	ev.Solver.Tol = 1e-6
 	ev.Solver.MaxIter = 25
-	ev.stats = make([]perf.CoreStats, len(obs.Cores))
-	for i, c := range obs.Cores {
-		ev.stats[i] = c.Stats
+	ev.obs = obs
+	n := len(obs.Cores)
+	ev.stats = resizeStats(ev.stats, n)
+	for i := range obs.Cores {
+		ev.stats[i] = obs.Cores[i].Stats
 	}
+	ev.busyPerReq = 0
 	if obs.MemRate > 0 {
 		ev.busyPerReq = obs.BusyFrac / obs.MemRate
 	}
-	maxSteps := make([]int, len(obs.Cores))
-	ev.baseline = ev.evaluate(maxSteps, 0)
+	ev.maxSteps = perf.ResizeInts(ev.maxSteps, n)
+	// Clear the stale baseline so finish() sees no reference to divide by
+	// (slowdowns come out exactly 1, as for a brand-new evaluator).
+	ev.baseline.TPI = ev.baseline.TPI[:0]
+	ev.evaluateInto(&ev.baseline, ev.maxSteps, 0)
 	ev.baseline.SER = 1
-	return ev
 }
 
 // Baseline returns the all-max evaluation (the SER denominator).
@@ -204,11 +260,43 @@ func (ev *Evaluator) Obs() Observation { return ev.obs }
 // Evaluate predicts the outcome of running with the given per-core and
 // memory steps.
 func (ev *Evaluator) Evaluate(coreSteps []int, memStep int) Eval {
-	e := ev.evaluate(coreSteps, memStep)
-	if ev.baseline.MaxSlow > 0 {
-		e.SER = power.SER(e.MaxSlow, e.Power.Total, ev.baseline.MaxSlow, ev.baseline.Power.Total)
-	}
+	var e Eval
+	ev.EvaluateInto(&e, coreSteps, memStep)
 	return e
+}
+
+// EvaluateBaselineInto copies the all-max evaluation into dst, reusing dst's
+// buffers. It is bit-identical to EvaluateInto(dst, ZeroSteps(n), 0) — Reset
+// already solved that operating point, every slowdown there is exactly 1
+// (IEEE x/x for finite positive x), and SER against the baseline itself is
+// exactly 1 — but skips the redundant fixed-point solve. The search hot path
+// uses it to seed its "current point" Eval (see DESIGN.md §7).
+//
+//hot:path
+func (ev *Evaluator) EvaluateBaselineInto(dst *Eval) {
+	n := len(ev.baseline.TPI)
+	dst.TPI = perf.ResizeFloats(dst.TPI, n)
+	copy(dst.TPI, ev.baseline.TPI)
+	dst.Slowdown = perf.ResizeFloats(dst.Slowdown, n)
+	for i := range dst.Slowdown {
+		dst.Slowdown[i] = 1
+	}
+	dst.MaxSlow = 1
+	dst.Power = ev.baseline.Power
+	dst.SER = 1
+	dst.MemLoad = ev.baseline.MemLoad
+}
+
+// EvaluateInto is Evaluate writing into dst, reusing dst's TPI/Slowdown
+// buffers. dst must not be the evaluator's own baseline. The search hot path
+// calls this with per-controller scratch Evals (see DESIGN.md §7).
+//
+//hot:path
+func (ev *Evaluator) EvaluateInto(dst *Eval, coreSteps []int, memStep int) {
+	ev.evaluateInto(dst, coreSteps, memStep)
+	if ev.baseline.MaxSlow > 0 {
+		dst.SER = power.SER(dst.MaxSlow, dst.Power.Total, ev.baseline.MaxSlow, ev.baseline.Power.Total)
+	}
 }
 
 // EvaluateFixedLatency predicts per-core TPI with the memory system pinned
@@ -222,7 +310,7 @@ func (ev *Evaluator) EvaluateFixedLatency(coreSteps []int, memStep int, latency 
 		e.TPI[i] = s.TPI(hz[i], latency)
 	}
 	e.MemLoad = memsys.Load{Latency: latency, XiBus: 1, XiBank: 1, UtilBus: ev.obs.UtilBus}
-	ev.finish(&e, hz, memStep, e.memRate(ev.stats))
+	ev.finish(&e, coreSteps, hz, memStep, e.memRate(ev.stats))
 	return e
 }
 
@@ -236,26 +324,44 @@ func (e *Eval) memRate(stats []perf.CoreStats) float64 {
 	return rate
 }
 
+// coreHz fills the evaluator's frequency scratch; the returned slice is
+// valid until the next coreHz call.
+//
+//hot:path
 func (ev *Evaluator) coreHz(coreSteps []int) []float64 {
-	hz := make([]float64, len(coreSteps))
+	ev.hz = perf.ResizeFloats(ev.hz, len(coreSteps))
 	for i, s := range coreSteps {
-		hz[i] = ev.Cfg.CoreLadder.Hz(s)
+		ev.hz[i] = ev.Cfg.CoreLadder.Hz(s)
 	}
-	return hz
+	return ev.hz
 }
 
-func (ev *Evaluator) evaluate(coreSteps []int, memStep int) Eval {
+// evaluateInto runs the joint model and fills dst completely (the solver's
+// TPI is copied, not aliased: Evals from one decision — current, candidate,
+// baseline — are alive simultaneously and must own their buffers).
+//
+//hot:path
+func (ev *Evaluator) evaluateInto(dst *Eval, coreSteps []int, memStep int) {
 	hz := ev.coreHz(coreSteps)
 	busHz := ev.Cfg.MemLadder.Hz(memStep)
-	res := ev.Solver.Solve(ev.stats, hz, busHz)
-	e := Eval{TPI: res.TPI, Slowdown: make([]float64, len(res.TPI)), MemLoad: res.Mem}
-	ev.finish(&e, hz, memStep, res.MemRate)
-	return e
+	ev.Solver.SolveInto(&ev.solveRes, ev.stats, hz, busHz)
+	n := len(ev.solveRes.TPI)
+	dst.TPI = perf.ResizeFloats(dst.TPI, n)
+	copy(dst.TPI, ev.solveRes.TPI)
+	dst.Slowdown = perf.ResizeFloats(dst.Slowdown, n)
+	dst.MaxSlow = 0
+	dst.SER = 0
+	dst.MemLoad = ev.solveRes.Mem
+	ev.finish(dst, coreSteps, hz, memStep, ev.solveRes.MemRate)
 }
 
 // finish fills slowdowns and predicted power for an Eval whose TPI and
-// MemLoad are already set.
-func (ev *Evaluator) finish(e *Eval, hz []float64, memStep int, memRate float64) {
+// MemLoad are already set. coreSteps and hz describe the same operating
+// point (hz[i] = CoreLadder.Hz(coreSteps[i])); taking both spares the
+// nearest-frequency ladder scan the voltage lookup would otherwise need.
+//
+//hot:path
+func (ev *Evaluator) finish(e *Eval, coreSteps []int, hz []float64, memStep int, memRate float64) {
 	for i := range e.Slowdown {
 		if len(ev.baseline.TPI) == len(e.TPI) && ev.baseline.TPI[i] > 0 {
 			e.Slowdown[i] = e.TPI[i] / ev.baseline.TPI[i]
@@ -270,7 +376,8 @@ func (ev *Evaluator) finish(e *Eval, hz []float64, memStep int, memRate float64)
 		e.MaxSlow = 1
 	}
 
-	cores := make([]power.CoreOp, len(e.TPI))
+	cores := resizeCoreOps(ev.cores, len(e.TPI))
+	ev.cores = cores
 	l2Rate := 0.0
 	for i, tpi := range e.TPI {
 		ips := 0.0
@@ -278,7 +385,7 @@ func (ev *Evaluator) finish(e *Eval, hz []float64, memStep int, memRate float64)
 			ips = 1 / tpi
 		}
 		cores[i] = power.CoreOp{
-			Volts: ev.Cfg.CoreLadder.Volts(stepOf(hz[i], ev.Cfg.CoreLadder)),
+			Volts: ev.Cfg.CoreLadder.Volts(coreSteps[i]),
 			Hz:    hz[i],
 			IPS:   ips,
 			Mix:   ev.obs.Cores[i].Mix,
@@ -304,27 +411,52 @@ func (ev *Evaluator) finish(e *Eval, hz []float64, memStep int, memRate float64)
 	e.Power = ev.Cfg.Power.Total(cores, l2Rate, u)
 }
 
-func stepOf(hz float64, l *freq.Ladder) int { return l.Nearest(hz) }
-
 // MaxSlowdowns converts per-core accumulated slack into the maximum
 // per-core slowdown permitted next epoch (§3 performance management): core i
 // may run at slowdown r if E ≤ E·(1+γ)/r + slack_i, i.e.
 // r ≤ E·(1+γ)/(E − slack_i). A slack at or above the epoch length leaves the
 // core unconstrained this epoch (returned as +Inf).
 func MaxSlowdowns(slacks []float64, epoch, gamma float64) []float64 {
-	out := make([]float64, len(slacks))
+	return MaxSlowdownsInto(nil, slacks, epoch, gamma)
+}
+
+// MaxSlowdownsInto is MaxSlowdowns writing into dst, reusing dst's backing
+// array when its capacity suffices (dst may alias slacks).
+//
+//hot:path
+func MaxSlowdownsInto(dst, slacks []float64, epoch, gamma float64) []float64 {
+	if cap(dst) < len(slacks) {
+		dst = make([]float64, len(slacks)) //hot:alloc-ok capacity miss: runs once until the caller's scratch is warm
+	}
+	dst = dst[:len(slacks)]
 	for i, s := range slacks {
 		if s >= epoch {
-			out[i] = math.Inf(1)
+			dst[i] = math.Inf(1)
 			continue
 		}
 		r := epoch * (1 + gamma) / (epoch - s)
 		if r < 1 {
 			r = 1 // never force above-baseline speed; max frequency is the best we can do
 		}
-		out[i] = r
+		dst[i] = r
 	}
-	return out
+	return dst
+}
+
+// resizeStats and resizeCoreOps reuse scratch backing arrays without
+// zeroing: every element is fully overwritten before it is read.
+func resizeStats(s []perf.CoreStats, n int) []perf.CoreStats {
+	if cap(s) < n {
+		return make([]perf.CoreStats, n)
+	}
+	return s[:n]
+}
+
+func resizeCoreOps(s []power.CoreOp, n int) []power.CoreOp {
+	if cap(s) < n {
+		return make([]power.CoreOp, n)
+	}
+	return s[:n]
 }
 
 // WithinBound reports whether an evaluation satisfies every core's slowdown

@@ -44,11 +44,23 @@ func (b *SlackBook) Thread(id int) *perf.Slack {
 // AvailableFor returns accumulated slack in seconds for the threads
 // currently scheduled on each core (threads[i] = thread on core i).
 func (b *SlackBook) AvailableFor(threads []int) []float64 {
-	out := make([]float64, len(threads))
-	for i, id := range threads {
-		out[i] = b.Thread(id).Available()
+	return b.AvailableInto(nil, threads)
+}
+
+// AvailableInto is AvailableFor writing into dst, reusing dst's backing
+// array when its capacity suffices. The allocation-free form used by
+// CoScale's decision hot path (see DESIGN.md §7).
+//
+//hot:path
+func (b *SlackBook) AvailableInto(dst []float64, threads []int) []float64 {
+	if cap(dst) < len(threads) {
+		dst = make([]float64, len(threads)) //hot:alloc-ok capacity miss: runs once until the caller's scratch is warm
 	}
-	return out
+	dst = dst[:len(threads)]
+	for i, id := range threads {
+		dst[i] = b.Thread(id).Available()
+	}
+	return dst
 }
 
 // RecordEpochFor accounts one finished epoch for the scheduled threads:

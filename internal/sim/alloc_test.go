@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"coscale/internal/core"
+	"coscale/internal/workload"
+)
+
+// TestStepZeroAllocSteadyState is the alloc-budget gate for the per-epoch hot
+// path (DESIGN.md §7): once the engine's and controller's scratch buffers are
+// warm, a full epoch step — profile, CoScale decide, sub-interval integration,
+// end-of-epoch observe — must not allocate. The budget is exactly zero; any
+// regression (a stray make, a closure capture, an interface box) fails here
+// before it can slow figure regeneration down.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	// A budget far beyond what the test commits keeps every application
+	// mid-run, so steps observe the steady state rather than termination.
+	cfg := Config{Mix: workload.MustGet("MID1"), InstrBudget: 1 << 50}
+	cfg.Policy = core.New(cfg.PolicyConfig())
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := 0
+	step := func() { eng.step(epoch, false); epoch++ }
+	// Warm-up: first epochs size scratch buffers and create the per-thread
+	// slack trackers.
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(50, step); avg != 0 {
+		t.Errorf("engine step allocates %.1f times per epoch in steady state, want 0", avg)
+	}
+}
+
+// TestBaselineStepZeroAllocSteadyState covers the policy-less integration
+// path (the branch the no-DVFS baseline takes every epoch).
+func TestBaselineStepZeroAllocSteadyState(t *testing.T) {
+	cfg := Config{Mix: workload.MustGet("MEM1"), InstrBudget: 1 << 50}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := 0
+	step := func() { eng.step(epoch, false); epoch++ }
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(50, step); avg != 0 {
+		t.Errorf("baseline step allocates %.1f times per epoch in steady state, want 0", avg)
+	}
+}

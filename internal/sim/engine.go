@@ -187,6 +187,25 @@ type Engine struct {
 	ctrs      *counters.System
 	energy    Energy
 	records   []EpochRecord
+
+	// Steady-state scratch, sized once in New and reused every epoch so
+	// the hot path (step and its callees) allocates nothing after warm-up
+	// (DESIGN.md §7). Each buffer is fully written before it is read.
+	samplers  []trace.Sampler // per software thread, memoizing phase lookups
+	st        trueState
+	weights   []float64
+	fracs     []float64
+	shares    []float64
+	hz        []float64
+	powerOps  []power.CoreOp
+	ns        []float64
+	dead      []float64
+	solveRes  perf.Result
+	snapEpoch counters.System
+	snapProf  counters.System
+	delta     counters.System
+	obsDecide policy.Observation
+	obsEpoch  policy.Observation
 }
 
 // New constructs an engine; the configuration is validated and defaulted.
@@ -207,7 +226,7 @@ func New(cfg Config) (*Engine, error) {
 	for i := range perm {
 		perm[i] = i
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		solver:    perf.NewSolver(cfg.Mem),
 		llc:       cache.NewShareModel(cfg.LLCSizeMB),
@@ -218,8 +237,70 @@ func New(cfg Config) (*Engine, error) {
 		reported:  make([]float64, n),
 		finish:    make([]float64, n),
 		ctrs:      counters.NewSystem(n, cfg.Mem.Channels),
-	}, nil
+	}
+	e.samplers = make([]trace.Sampler, n)
+	for th := range e.samplers {
+		e.samplers[th].Reset(profiles[th])
+	}
+	e.st = trueState{
+		stats:     make([]perf.CoreStats, n),
+		mix:       make([]trace.InstrMix, n),
+		l2PKI:     make([]float64, n),
+		demandPKI: make([]float64, n),
+		fillPKI:   make([]float64, n),
+		wbPKI:     make([]float64, n),
+	}
+	e.weights = make([]float64, n)
+	e.fracs = make([]float64, n)
+	e.shares = make([]float64, n)
+	e.hz = make([]float64, n)
+	e.powerOps = make([]power.CoreOp, n)
+	e.ns = make([]float64, n)
+	e.dead = make([]float64, n)
+	e.solveRes.TPI = make([]float64, n)
+	e.solveRes.IPS = make([]float64, n)
+	e.snapEpoch = *counters.NewSystem(n, cfg.Mem.Channels)
+	e.snapProf = *counters.NewSystem(n, cfg.Mem.Channels)
+	e.delta = *counters.NewSystem(n, cfg.Mem.Channels)
+	for _, obs := range []*policy.Observation{&e.obsDecide, &e.obsEpoch} {
+		obs.CoreSteps = make([]int, n)
+		obs.ThreadIDs = make([]int, n)
+		obs.Cores = make([]policy.CoreObs, n)
+	}
+	return e, nil
 }
+
+// Reset rewinds the engine to its initial state so the same configuration can
+// be re-run without reallocating; the scratch buffers warmed by a previous
+// run are kept, and results after Reset are bit-identical to a fresh
+// engine's. Policies carry their own state across runs — pair Reset with
+// SetPolicy(freshPolicy) when re-running a controller-driven configuration.
+func (e *Engine) Reset() {
+	for i := range e.perm {
+		e.perm[i] = i
+		e.coreSteps[i] = 0
+		e.instr[i] = 0
+		e.reported[i] = 0
+		e.finish[i] = 0
+	}
+	for th := range e.samplers {
+		e.samplers[th].Reset(e.profiles[th])
+	}
+	e.memStep = 0
+	e.wall = 0
+	e.energy = Energy{}
+	e.records = nil
+	for i := range e.ctrs.Cores {
+		e.ctrs.Cores[i] = counters.Core{}
+	}
+	for i := range e.ctrs.Channels {
+		e.ctrs.Channels[i] = counters.Channel{}
+	}
+}
+
+// SetPolicy swaps the controller driving the engine. Valid only between
+// runs (typically right after Reset); swapping mid-run is unsupported.
+func (e *Engine) SetPolicy(p policy.Policy) { e.cfg.Policy = p }
 
 // trueState is the ground-truth characterization of every core at an
 // instant, plus derived per-core traffic components.
@@ -233,32 +314,27 @@ type trueState struct {
 }
 
 // trueStats samples every application's profile at its current position and
-// applies the shared-LLC contention model, prefetcher and MLP settings.
-func (e *Engine) trueStats() trueState {
+// applies the shared-LLC contention model, prefetcher and MLP settings. The
+// returned state points at the engine's scratch buffers and is valid until
+// the next trueStats call.
+//
+//hot:path
+func (e *Engine) trueStats() *trueState {
 	n := len(e.profiles)
-	st := trueState{
-		stats:     make([]perf.CoreStats, n),
-		mix:       make([]trace.InstrMix, n),
-		l2PKI:     make([]float64, n),
-		demandPKI: make([]float64, n),
-		fillPKI:   make([]float64, n),
-		wbPKI:     make([]float64, n),
-	}
-	weights := make([]float64, n)
-	fracs := make([]float64, n)
-	coreProfiles := make([]*trace.AppProfile, n)
-	for i := range coreProfiles {
-		p := e.profiles[e.perm[i]]
-		coreProfiles[i] = p
-		frac := e.instr[e.perm[i]] / float64(e.cfg.InstrBudget)
+	st := &e.st
+	for i := 0; i < n; i++ {
+		th := e.perm[i]
+		frac := e.instr[th] / float64(e.cfg.InstrBudget)
 		frac -= math.Floor(frac) // finished apps keep running, wrapped
-		fracs[i] = frac
-		weights[i] = p.At(frac).L2APKI
+		e.fracs[i] = frac
+		e.weights[i] = e.samplers[th].At(frac).L2APKI
 	}
-	shares := e.llc.Shares(weights)
-	for i, p := range coreProfiles {
-		s := p.At(fracs[i])
-		mpki := p.MPKIAt(fracs[i], shares[i])
+	e.llc.SharesInto(e.shares, e.weights)
+	for i := 0; i < n; i++ {
+		th := e.perm[i]
+		p := e.profiles[th]
+		s := e.samplers[th].At(e.fracs[i])
+		mpki := e.samplers[th].MPKI(e.fracs[i], e.shares[i])
 		demand, fills := mpki, 0.0
 		if e.cfg.Prefetch && p.PrefetchAccuracy > 0 {
 			demand = mpki * (1 - p.PrefetchCoverage)
@@ -286,29 +362,38 @@ func (e *Engine) trueStats() trueState {
 	return st
 }
 
+// coreHz fills the engine's frequency scratch from the current ladder steps.
+// The returned slice is valid until the next coreHz call.
+//
+//hot:path
 func (e *Engine) coreHz() []float64 {
-	hz := make([]float64, len(e.coreSteps))
+	e.hz = perf.ResizeFloats(e.hz, len(e.coreSteps))
 	for i, s := range e.coreSteps {
-		hz[i] = e.cfg.CoreLadder.Hz(s)
+		e.hz[i] = e.cfg.CoreLadder.Hz(s)
 	}
-	return hz
+	return e.hz
 }
 
 // advance integrates dt seconds of execution at the current settings,
 // accumulating instructions, counters and energy, and recording budget
 // crossings. dead[i] (optional) removes transition dead time from core i's
 // execution within this interval.
-func (e *Engine) advance(dt float64, st trueState, dead []float64) {
+//
+//hot:path
+func (e *Engine) advance(dt float64, st *trueState, dead []float64) {
 	if dt <= 0 {
 		return
 	}
 	hz := e.coreHz()
 	busHz := e.cfg.MemLadder.Hz(e.memStep)
-	res := e.solver.Solve(st.stats, hz, busHz)
+	e.solver.SolveInto(&e.solveRes, st.stats, hz, busHz)
+	res := &e.solveRes
 
 	var reads, writes, l2Rate float64
-	cores := make([]power.CoreOp, len(hz))
-	ns := make([]float64, len(hz))
+	cores := resizeCoreOps(e.powerOps, len(hz))
+	e.powerOps = cores
+	ns := perf.ResizeFloats(e.ns, len(hz))
+	e.ns = ns
 	for i := range hz {
 		exec := dt
 		if dead != nil && dead[i] > 0 {
@@ -439,16 +524,23 @@ func (e *Engine) busyFrac(l memsys.Load) float64 {
 	return b
 }
 
-// observation converts counter deltas over a window at known settings into
-// the controller-facing Observation.
-func (e *Engine) observation(delta counters.System, window float64) policy.Observation {
-	obs := policy.Observation{
-		Window:    window,
-		CoreSteps: append([]int(nil), e.coreSteps...),
-		MemStep:   e.memStep,
-		ThreadIDs: append([]int(nil), e.perm...),
-		Cores:     make([]policy.CoreObs, len(delta.Cores)),
-	}
+// observationInto converts counter deltas over a window at known settings
+// into the controller-facing Observation, reusing obs's slices. The result
+// is valid until the engine's next observationInto call on the same obs.
+//
+//hot:path
+func (e *Engine) observationInto(obs *policy.Observation, delta *counters.System, window float64) {
+	obs.Window = window
+	obs.CoreSteps = perf.ResizeInts(obs.CoreSteps, len(e.coreSteps))
+	copy(obs.CoreSteps, e.coreSteps)
+	obs.MemStep = e.memStep
+	obs.ThreadIDs = perf.ResizeInts(obs.ThreadIDs, len(e.perm))
+	copy(obs.ThreadIDs, e.perm)
+	obs.Cores = resizeCoreObs(obs.Cores, len(delta.Cores))
+	obs.MemRate = 0
+	obs.MemLatency = 0
+	obs.UtilBus = 0
+	obs.BusyFrac = 0
 	busHz := e.cfg.MemLadder.Hz(e.memStep)
 	var reads, writes, latencyCycles, busCycles, busBusy, active uint64
 	for _, ch := range delta.Channels {
@@ -470,7 +562,8 @@ func (e *Engine) observation(delta counters.System, window float64) policy.Obser
 		obs.BusyFrac = float64(active) / float64(busCycles)
 	}
 
-	for i, c := range delta.Cores {
+	for i := range delta.Cores {
+		c := delta.Cores[i]
 		hz := e.cfg.CoreLadder.Hz(e.coreSteps[i])
 		co := policy.CoreObs{Instructions: c.TIC}
 		if c.TIC > 0 {
@@ -517,26 +610,28 @@ func (e *Engine) observation(delta counters.System, window float64) policy.Obser
 		}
 		obs.Cores[i] = co
 	}
-	return obs
 }
 
-// oracleObservation builds a perfect observation of the upcoming epoch from
-// the true state (for the Offline policy).
-func (e *Engine) oracleObservation(st trueState) policy.Observation {
+// oracleObservationInto builds a perfect observation of the upcoming epoch
+// from the true state (for the Offline policy), reusing obs's slices.
+//
+//hot:path
+func (e *Engine) oracleObservationInto(obs *policy.Observation, st *trueState) {
 	hz := e.coreHz()
 	busHz := e.cfg.MemLadder.Hz(e.memStep)
-	res := e.solver.Solve(st.stats, hz, busHz)
-	obs := policy.Observation{
-		Window:     e.cfg.EpochLen.Seconds(),
-		CoreSteps:  append([]int(nil), e.coreSteps...),
-		MemStep:    e.memStep,
-		ThreadIDs:  append([]int(nil), e.perm...),
-		Cores:      make([]policy.CoreObs, len(st.stats)),
-		MemRate:    res.MemRate,
-		MemLatency: res.Mem.Latency,
-		UtilBus:    res.Mem.UtilBus,
-		BusyFrac:   e.busyFrac(res.Mem),
-	}
+	e.solver.SolveInto(&e.solveRes, st.stats, hz, busHz)
+	res := &e.solveRes
+	obs.Window = e.cfg.EpochLen.Seconds()
+	obs.CoreSteps = perf.ResizeInts(obs.CoreSteps, len(e.coreSteps))
+	copy(obs.CoreSteps, e.coreSteps)
+	obs.MemStep = e.memStep
+	obs.ThreadIDs = perf.ResizeInts(obs.ThreadIDs, len(e.perm))
+	copy(obs.ThreadIDs, e.perm)
+	obs.Cores = resizeCoreObs(obs.Cores, len(st.stats))
+	obs.MemRate = res.MemRate
+	obs.MemLatency = res.Mem.Latency
+	obs.UtilBus = res.Mem.UtilBus
+	obs.BusyFrac = e.busyFrac(res.Mem)
 	for i := range st.stats {
 		ips := 0.0
 		if res.TPI[i] > 0 {
@@ -550,7 +645,6 @@ func (e *Engine) oracleObservation(st trueState) policy.Observation {
 			IPS:          ips,
 		}
 	}
-	return obs
 }
 
 // Run executes the workload until every application has committed its
@@ -566,72 +660,9 @@ func (e *Engine) Run() (*Result, error) {
 		}
 	}
 
-	epochSecs := cfg.EpochLen.Seconds()
-	profSecs := cfg.ProfileLen.Seconds()
-	n := cfg.Mix.Cores()
-
 	epochs := 0
 	for ; epochs < cfg.MaxEpochs && !e.allFinished(); epochs++ {
-		epochStart := e.ctrs.Snapshot()
-		epochWallStart := e.wall
-		epochEnergyStart := e.energy.Total()
-
-		// OS thread migration at quantum boundaries (§3.3): rotate the
-		// thread→core assignment; slack follows each thread through the
-		// policies' thread-keyed SlackBook.
-		var migrateDead float64
-		if cfg.MigrateEvery > 0 && epochs > 0 && epochs%cfg.MigrateEvery == 0 {
-			last := e.perm[n-1]
-			copy(e.perm[1:], e.perm[:n-1])
-			e.perm[0] = last
-			migrateDead = contextSwitchCost
-		}
-
-		var dead []float64
-		if cfg.Policy == nil {
-			// Baseline: run the whole epoch at maximum frequencies.
-			if migrateDead > 0 {
-				dead = make([]float64, n)
-				for i := range dead {
-					dead[i] = migrateDead
-				}
-			}
-			e.integrate(epochSecs, dead)
-		} else {
-			// Profiling phase at the settings carried over.
-			profStart := e.ctrs.Snapshot()
-			st := e.trueStats()
-			e.advance(profSecs, st, nil)
-			profDelta := e.ctrs.Snapshot().Sub(profStart)
-
-			var obs policy.Observation
-			if oracle {
-				obs = e.oracleObservation(st)
-			} else {
-				obs = e.observation(profDelta, profSecs)
-			}
-			d := cfg.Policy.Decide(obs)
-			dead = e.applyDecision(d, n)
-			if migrateDead > 0 {
-				if dead == nil {
-					dead = make([]float64, n)
-				}
-				for i := range dead {
-					dead[i] += migrateDead
-				}
-			}
-			e.integrate(epochSecs-profSecs, dead)
-		}
-
-		epochDelta := e.ctrs.Snapshot().Sub(epochStart)
-		epochWindow := e.wall - epochWallStart
-		if cfg.Policy != nil {
-			cfg.Policy.Observe(e.observation(epochDelta, epochWindow))
-		}
-
-		if cfg.RecordTimeline {
-			e.record(epochs, epochWindow, e.energy.Total()-epochEnergyStart)
-		}
+		e.step(epochs, oracle)
 	}
 	if !e.allFinished() {
 		return nil, fmt.Errorf("sim: %s/%s did not finish within %d epochs", cfg.Mix.Name, polName, cfg.MaxEpochs)
@@ -661,8 +692,83 @@ func (e *Engine) Run() (*Result, error) {
 	return res, nil
 }
 
+// step runs one epoch of the control loop: profile, decide, integrate,
+// observe. It is the per-epoch hot path and must stay allocation-free in
+// steady state when timelines are off (asserted by the alloc-budget tests).
+//
+//hot:path
+func (e *Engine) step(epoch int, oracle bool) {
+	cfg := &e.cfg
+	epochSecs := cfg.EpochLen.Seconds()
+	profSecs := cfg.ProfileLen.Seconds()
+	n := len(e.perm)
+
+	e.ctrs.SnapshotInto(&e.snapEpoch)
+	epochWallStart := e.wall
+	epochEnergyStart := e.energy.Total()
+
+	// OS thread migration at quantum boundaries (§3.3): rotate the
+	// thread→core assignment; slack follows each thread through the
+	// policies' thread-keyed SlackBook.
+	var migrateDead float64
+	if cfg.MigrateEvery > 0 && epoch > 0 && epoch%cfg.MigrateEvery == 0 {
+		last := e.perm[n-1]
+		copy(e.perm[1:], e.perm[:n-1])
+		e.perm[0] = last
+		migrateDead = contextSwitchCost
+	}
+
+	var dead []float64
+	if cfg.Policy == nil {
+		// Baseline: run the whole epoch at maximum frequencies.
+		if migrateDead > 0 {
+			dead = e.resetDead(n)
+			for i := range dead {
+				dead[i] = migrateDead
+			}
+		}
+		e.integrate(epochSecs, dead)
+	} else {
+		// Profiling phase at the settings carried over.
+		e.ctrs.SnapshotInto(&e.snapProf)
+		st := e.trueStats()
+		e.advance(profSecs, st, nil)
+		e.ctrs.SubInto(&e.delta, &e.snapProf)
+
+		if oracle {
+			e.oracleObservationInto(&e.obsDecide, st)
+		} else {
+			e.observationInto(&e.obsDecide, &e.delta, profSecs)
+		}
+		d := cfg.Policy.Decide(e.obsDecide)
+		dead = e.applyDecision(d, n)
+		if migrateDead > 0 {
+			if dead == nil {
+				dead = e.resetDead(n)
+			}
+			for i := range dead {
+				dead[i] += migrateDead
+			}
+		}
+		e.integrate(epochSecs-profSecs, dead)
+	}
+
+	e.ctrs.SubInto(&e.delta, &e.snapEpoch)
+	epochWindow := e.wall - epochWallStart
+	if cfg.Policy != nil {
+		e.observationInto(&e.obsEpoch, &e.delta, epochWindow)
+		cfg.Policy.Observe(e.obsEpoch)
+	}
+
+	if cfg.RecordTimeline {
+		e.record(epoch, epochWindow, e.energy.Total()-epochEnergyStart)
+	}
+}
+
 // integrate advances a segment in SubSteps chunks, re-sampling true state
 // each chunk so mid-epoch phase changes show up in ground truth.
+//
+//hot:path
 func (e *Engine) integrate(secs float64, dead []float64) {
 	steps := e.cfg.SubSteps
 	chunk := secs / float64(steps)
@@ -679,10 +785,21 @@ func (e *Engine) integrate(secs float64, dead []float64) {
 	}
 }
 
+// resetDead returns the engine's zeroed dead-time scratch at length n.
+//
+//hot:path
+func (e *Engine) resetDead(n int) []float64 {
+	e.dead = perf.ResizeFloats(e.dead, n)
+	return e.dead
+}
+
 // applyDecision installs new settings and returns per-core transition dead
-// time for the first sub-interval.
+// time for the first sub-interval (nil when nothing changed). The returned
+// slice is the engine's scratch, valid until the next applyDecision.
+//
+//hot:path
 func (e *Engine) applyDecision(d policy.Decision, n int) []float64 {
-	dead := make([]float64, n)
+	dead := e.resetDead(n)
 	anyDead := false
 	for i := 0; i < n && i < len(d.CoreSteps); i++ {
 		step := e.cfg.CoreLadder.Clamp(d.CoreSteps[i])
@@ -715,9 +832,10 @@ func (e *Engine) record(idx int, window float64, energyDelta float64) {
 	res := e.solver.Solve(st.stats, hz, e.cfg.MemLadder.Hz(e.memStep))
 	maxRes := e.solver.SolveUniform(st.stats, e.cfg.CoreLadder.MaxHz(), e.cfg.MemLadder.MaxHz())
 	rec := EpochRecord{
-		Index:     idx,
-		Wall:      e.wall,
-		CoreHz:    hz,
+		Index: idx,
+		Wall:  e.wall,
+		// hz is the engine's scratch; the record keeps its own copy.
+		CoreHz:    append([]float64(nil), hz...),
 		MemHz:     e.cfg.MemLadder.Hz(e.memStep),
 		Slowdowns: make([]float64, len(hz)),
 	}
@@ -730,6 +848,22 @@ func (e *Engine) record(idx int, window float64, energyDelta float64) {
 		rec.PowerW = energyDelta / window
 	}
 	e.records = append(e.records, rec)
+}
+
+// resizeCoreOps and resizeCoreObs reuse scratch backing arrays without
+// zeroing: every element is fully overwritten before it is read.
+func resizeCoreOps(s []power.CoreOp, n int) []power.CoreOp {
+	if cap(s) < n {
+		return make([]power.CoreOp, n)
+	}
+	return s[:n]
+}
+
+func resizeCoreObs(s []policy.CoreObs, n int) []policy.CoreObs {
+	if cap(s) < n {
+		return make([]policy.CoreObs, n)
+	}
+	return s[:n]
 }
 
 // contextSwitchCost is the per-core dead time charged when the OS migrates

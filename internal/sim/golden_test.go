@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"coscale/internal/core"
+	"coscale/internal/workload"
+)
+
+// The scratch-buffer refactor (DESIGN.md §7) must not change any simulation
+// output. These golden values were captured from the pre-refactor engine
+// (allocating per call) at InstrBudget 16M and are compared bit-for-bit:
+// the reusable buffers, the memoizing trace.Sampler and Solver.SolveInto
+// all promise results identical to their allocating predecessors.
+
+type goldenApp struct {
+	name   string
+	instr  uint64
+	finish uint64 // math.Float64bits of FinishTime
+}
+
+type goldenRun struct {
+	mix     string
+	coscale bool // false = no-DVFS baseline
+	epochs  int
+	wall    uint64
+	cpu     uint64
+	l2      uint64
+	mem     uint64
+	rest    uint64
+	total   uint64 // TotalInstructions
+	apps    []goldenApp
+}
+
+var goldenRuns = []goldenRun{
+	{
+		mix: "MID1", coscale: false, epochs: 2,
+		wall: 0x3f7f09b4773de383,
+		cpu:  0x3ff5b586197babf4, l2: 0x3fc1f5e7b0605a56,
+		mem: 0x3fe795431af4547c, rest: 0x3fd41f7722a448d4,
+		total: 274463580,
+		apps: []goldenApp{
+			{"ammp", 16000000, 0x3f7f09b4773de383},
+			{"gap", 18230699, 0x3f7b3c4871fcd278},
+			{"wupwise", 18309966, 0x3f7b1dfbcb374d34},
+			{"vpr", 16075230, 0x3f7ee1e406b1f712},
+		},
+	},
+	{
+		mix: "MID1", coscale: true, epochs: 2,
+		wall: 0x3f80de8640c3d2c9,
+		cpu:  0x3ff45bafdf462b42, l2: 0x3fc37be0f747576b,
+		mem: 0x3fe09d104f9c7715, rest: 0x3fd5dfafc9bd1075,
+		total: 275573180,
+		apps: []goldenApp{
+			{"ammp", 15999999, 0x3f80de8640c3d2c9},
+			{"gap", 18380587, 0x3f7d5dc8390af95a},
+			{"wupwise", 18447037, 0x3f7d428b7318ef0e},
+			{"vpr", 16065672, 0x3f80cbaa11f29521},
+		},
+	},
+	{
+		mix: "MEM1", coscale: true, epochs: 7,
+		wall: 0x3fa1e2efe9abbc58,
+		cpu:  0x4002c488e2eff470, l2: 0x3fe4ff225cb240e8,
+		mem: 0x40103c2b2dbe47fb, rest: 0x3ff7315aed4959c3,
+		total: 417605452,
+		apps: []goldenApp{
+			{"swim", 28171871, 0x3f941c97f4fc26a2},
+			{"applu", 16000000, 0x3fa1e2efe9abbc58},
+			{"galgel", 42287180, 0x3f8afbce6d4386a8},
+			{"equake", 17942312, 0x3fa005c6439144d2},
+		},
+	},
+}
+
+func goldenConfig(g goldenRun) Config {
+	cfg := Config{Mix: workload.MustGet(g.mix), InstrBudget: 16_000_000}
+	if g.coscale {
+		cfg.Policy = core.New(cfg.PolicyConfig())
+	}
+	return cfg
+}
+
+func checkGolden(t *testing.T, g goldenRun, res *Result) {
+	t.Helper()
+	if res.Epochs != g.epochs {
+		t.Errorf("epochs = %d, want %d", res.Epochs, g.epochs)
+	}
+	checkBits := func(name string, got float64, want uint64) {
+		t.Helper()
+		if math.Float64bits(got) != want {
+			t.Errorf("%s = %v (%#x), want bits %#x", name, got, math.Float64bits(got), want)
+		}
+	}
+	checkBits("WallTime", res.WallTime, g.wall)
+	checkBits("Energy.CPU", res.Energy.CPU, g.cpu)
+	checkBits("Energy.L2", res.Energy.L2, g.l2)
+	checkBits("Energy.Mem", res.Energy.Mem, g.mem)
+	checkBits("Energy.Rest", res.Energy.Rest, g.rest)
+	if res.TotalInstructions != g.total {
+		t.Errorf("TotalInstructions = %d, want %d", res.TotalInstructions, g.total)
+	}
+	copies := len(res.Apps) / len(g.apps)
+	for i, a := range res.Apps {
+		want := g.apps[i/copies]
+		if a.App != want.name {
+			t.Errorf("app[%d] = %s, want %s", i, a.App, want.name)
+			continue
+		}
+		if a.Instructions != want.instr {
+			t.Errorf("app[%d] %s instructions = %d, want %d", i, a.App, a.Instructions, want.instr)
+		}
+		checkBits("app "+a.App+" finish", a.FinishTime, want.finish)
+	}
+}
+
+// TestGoldenBitIdentical replays the captured runs on a fresh engine.
+func TestGoldenBitIdentical(t *testing.T) {
+	for _, g := range goldenRuns {
+		name := g.mix + "/Baseline"
+		if g.coscale {
+			name = g.mix + "/CoScale"
+		}
+		t.Run(name, func(t *testing.T) {
+			eng, err := New(goldenConfig(g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, g, res)
+		})
+	}
+}
+
+// TestGoldenBitIdenticalAfterReset replays each captured run twice on ONE
+// engine via Reset (+ a fresh policy, since controllers carry state): the
+// warmed scratch buffers must not perturb a single bit of the result.
+func TestGoldenBitIdenticalAfterReset(t *testing.T) {
+	for _, g := range goldenRuns {
+		name := g.mix + "/Baseline"
+		if g.coscale {
+			name = g.mix + "/CoScale"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := goldenConfig(g)
+			eng, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			eng.Reset()
+			if g.coscale {
+				eng.SetPolicy(core.New(cfg.PolicyConfig()))
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, g, res)
+		})
+	}
+}

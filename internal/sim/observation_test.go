@@ -10,7 +10,8 @@ import (
 )
 
 // capturePolicy records the observations it is given and keeps everything at
-// maximum frequency.
+// maximum frequency. Observations are cloned because the engine reuses their
+// backing slices between epochs.
 type capturePolicy struct {
 	decides  []policy.Observation
 	observes []policy.Observation
@@ -19,10 +20,10 @@ type capturePolicy struct {
 
 func (p *capturePolicy) Name() string { return "Capture" }
 func (p *capturePolicy) Decide(obs policy.Observation) policy.Decision {
-	p.decides = append(p.decides, obs)
+	p.decides = append(p.decides, obs.Clone())
 	return policy.Decision{CoreSteps: policy.ZeroSteps(p.n), MemStep: 0}
 }
-func (p *capturePolicy) Observe(obs policy.Observation) { p.observes = append(p.observes, obs) }
+func (p *capturePolicy) Observe(obs policy.Observation) { p.observes = append(p.observes, obs.Clone()) }
 
 // TestObservationRoundTrip checks the honest counter path: the statistics a
 // controller derives from profiling-window counters must match the true
