@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint test test-race bench bench-smoke bench-json fmt
+.PHONY: check build vet fmt-check lint test test-race bench bench-smoke bench-json fmt fuzz-smoke fault-smoke
 
 ## check: the full gate — tier-1 verify + vet + gofmt + coscale-lint
 check: build vet fmt-check lint test
@@ -32,6 +32,21 @@ bench-smoke:
 ## wall-times; see DESIGN.md §7 for the schema)
 bench-json:
 	$(GO) run ./cmd/coscale-bench -out BENCH_baseline.json
+
+## fuzz-smoke: a short burst of every native fuzz target (go allows one
+## -fuzz target per invocation, hence the separate runs)
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/freq -run '^$$' -fuzz '^FuzzNewLadder$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/freq -run '^$$' -fuzz '^FuzzNewLadderSteps$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzProfileValidate$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzLookup$$' -fuzztime $(FUZZTIME)
+
+## fault-smoke: the fault-injection and graceful-degradation suite under the
+## race detector (mirrors CI's fault-smoke job)
+fault-smoke:
+	$(GO) test -race ./internal/fault
+	$(GO) test -race -run 'Fault|Hardened|ErrorTolerance' ./internal/sim ./internal/policy ./internal/experiments
 
 vet:
 	$(GO) vet ./...

@@ -9,6 +9,16 @@ import (
 	"coscale/internal/policy"
 )
 
+// must unwraps a constructor's (value, error) pair for test setup; a
+// non-nil error is a broken fixture, reported by panicking (Go forbids
+// f(t, g()) with a multi-valued g, so the helper cannot also take t).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // TestDecideZeroAllocSteadyState is the alloc-budget gate for the §3.1 search
 // (DESIGN.md §7): after the first call sizes the controller's scratch —
 // evaluators, search state, marginal lists — CoScale.Decide must not allocate.
@@ -17,7 +27,7 @@ import (
 func TestDecideZeroAllocSteadyState(t *testing.T) {
 	for _, n := range []int{16, 64} {
 		cfg, obs := experiments.SearchBenchObs(n)
-		cs := core.New(cfg)
+		cs := must(core.New(cfg))
 		cs.Decide(obs) // warm-up sizes every scratch buffer
 		avg := testing.AllocsPerRun(100, func() { cs.Decide(obs) })
 		if avg != 0 {
@@ -33,11 +43,11 @@ func TestDecideZeroAllocSteadyState(t *testing.T) {
 func TestDecideDeterministicUnderReuse(t *testing.T) {
 	cfg, obs := experiments.SearchBenchObs(16)
 
-	reused := core.New(cfg)
+	reused := must(core.New(cfg))
 	first := reused.Decide(obs).Clone() // Decide's result aliases controller scratch
 	second := reused.Decide(obs).Clone()
 
-	fresh := core.New(cfg).Decide(obs).Clone()
+	fresh := must(core.New(cfg)).Decide(obs).Clone()
 
 	check := func(name string, d policy.Decision) {
 		t.Helper()

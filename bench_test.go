@@ -284,7 +284,7 @@ func searchBenchObs(n int) (policy.Config, policy.Observation) {
 
 func benchSearch(b *testing.B, n int) {
 	cfg, obs := searchBenchObs(n)
-	cs := core.New(cfg)
+	cs := must(core.New(cfg))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cs.Decide(obs)
@@ -298,7 +298,7 @@ func BenchmarkSearch128Cores(b *testing.B) { benchSearch(b, 128) }
 // BenchmarkSearchNoCache quantifies the Figure 2 marginal-caching savings.
 func BenchmarkSearchNoCache16Cores(b *testing.B) {
 	cfg, obs := searchBenchObs(16)
-	cs := core.NewWithOptions(cfg, core.Options{DisableMarginalCache: true})
+	cs := must(core.NewWithOptions(cfg, core.Options{DisableMarginalCache: true}))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cs.Decide(obs)

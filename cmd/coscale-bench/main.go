@@ -79,7 +79,10 @@ func main() {
 		n := n
 		rep.Benchmarks = append(rep.Benchmarks, bench(fmt.Sprintf("Search%dCores", n), func(b *testing.B) {
 			cfg, obs := experiments.SearchBenchObs(n)
-			cs := core.New(cfg)
+			cs, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

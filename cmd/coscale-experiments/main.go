@@ -7,7 +7,7 @@
 //	coscale-experiments -budget 25000000 # faster, reduced budget
 //
 // Experiment names: table1 table2 fig5 fig6 fig7 fig8 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16 fig17 ablations.
+// fig13 fig14 fig15 fig16 fig17 ablations faults.
 package main
 
 import (
@@ -115,6 +115,13 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatFig17And18(rows))
+	}
+	if want("faults") {
+		rows, err := r.ErrorTolerance()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatErrorTolerance(rows))
 	}
 	if want("ablations") {
 		rows, err := r.Ablations()

@@ -167,9 +167,17 @@ func Run(c Config) (*Result, error) {
 		if c.PowerCapWatts <= 0 {
 			return nil, fmt.Errorf("coscale: PolicyPowerCap requires PowerCapWatts > 0")
 		}
-		sc.Policy = core.NewPowerCap(sc.PolicyConfig(), c.PowerCapWatts)
+		p, err := core.NewPowerCap(sc.PolicyConfig(), c.PowerCapWatts)
+		if err != nil {
+			return nil, err
+		}
+		sc.Policy = p
 	default:
-		sc.Policy = experiments.NewPolicy(experiments.PolicyName(name), sc.PolicyConfig())
+		p, err := experiments.NewPolicy(experiments.PolicyName(name), sc.PolicyConfig())
+		if err != nil {
+			return nil, err
+		}
+		sc.Policy = p
 	}
 	eng, err := sim.New(sc)
 	if err != nil {

@@ -65,14 +65,15 @@ type CoScale struct {
 	identity []int     // thread mapping fallback when ThreadIDs is nil
 }
 
-// New returns a CoScale controller for the given system.
-func New(cfg policy.Config) *CoScale { return NewWithOptions(cfg, Options{}) }
+// New returns a CoScale controller for the given system, or the
+// configuration's validation error.
+func New(cfg policy.Config) (*CoScale, error) { return NewWithOptions(cfg, Options{}) }
 
-// NewWithOptions returns a CoScale controller with ablation options.
-func NewWithOptions(cfg policy.Config, opts Options) *CoScale {
+// NewWithOptions returns a CoScale controller with ablation options, or the
+// configuration's validation error.
+func NewWithOptions(cfg policy.Config, opts Options) (*CoScale, error) {
 	if err := cfg.Validate(); err != nil {
-		//lint:ignore nopanic constructor contract: configs come from PolicyConfig, already validated by sim.New
-		panic(err)
+		return nil, err
 	}
 	n := cfg.NCores
 	return &CoScale{
@@ -93,7 +94,7 @@ func NewWithOptions(cfg policy.Config, opts Options) *CoScale {
 		moved:    make([]bool, n),
 		tmax:     make([]float64, n),
 		identity: make([]int, n),
-	}
+	}, nil
 }
 
 // Name implements policy.Policy.

@@ -13,6 +13,16 @@ import (
 	"coscale/internal/trace"
 )
 
+// must unwraps a constructor's (value, error) pair for test setup; a
+// non-nil error is a broken fixture, reported by panicking (Go forbids
+// f(t, g()) with a multi-valued g, so the helper cannot also take t).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func testCfg(n int) policy.Config {
 	return policy.Config{
 		NCores:     n,
@@ -69,23 +79,20 @@ var (
 )
 
 func TestNewValidates(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("New with invalid config did not panic")
-		}
-	}()
-	New(policy.Config{})
+	if _, err := New(policy.Config{}); err == nil {
+		t.Error("New with invalid config returned no error")
+	}
 }
 
 func TestName(t *testing.T) {
 	cfg := testCfg(4)
-	if got := New(cfg).Name(); got != "CoScale" {
+	if got := must(New(cfg)).Name(); got != "CoScale" {
 		t.Errorf("Name() = %s", got)
 	}
-	if got := NewWithOptions(cfg, Options{DisableGrouping: true}).Name(); got != "CoScale-NoGrouping" {
+	if got := must(NewWithOptions(cfg, Options{DisableGrouping: true})).Name(); got != "CoScale-NoGrouping" {
 		t.Errorf("Name() = %s", got)
 	}
-	if got := NewWithOptions(cfg, Options{DisableMarginalCache: true}).Name(); got != "CoScale-NoCache" {
+	if got := must(NewWithOptions(cfg, Options{DisableMarginalCache: true})).Name(); got != "CoScale-NoCache" {
 		t.Errorf("Name() = %s", got)
 	}
 }
@@ -96,7 +103,7 @@ func TestDecideRespectsPredictedBound(t *testing.T) {
 		stats perf.CoreStats
 	}{{"compute", compute}, {"memory", memory}} {
 		cfg := testCfg(8)
-		cs := New(cfg)
+		cs := must(New(cfg))
 		obs := synthObs(cfg, uniform(8, tc.stats))
 		d := cs.Decide(obs)
 		ev := policy.NewEvaluator(cfg, obs)
@@ -114,13 +121,13 @@ func TestDecidePicksTheRightKnob(t *testing.T) {
 	cfg := testCfg(8)
 
 	// Compute-bound: memory should be scaled deep, cores barely.
-	d := New(cfg).Decide(synthObs(cfg, uniform(8, compute)))
+	d := must(New(cfg)).Decide(synthObs(cfg, uniform(8, compute)))
 	if d.MemStep < 5 {
 		t.Errorf("compute-bound: memory only scaled to step %d", d.MemStep)
 	}
 
 	// Memory-bound: memory should stay high, cores scale deep.
-	d = New(cfg).Decide(synthObs(cfg, uniform(8, memory)))
+	d = must(New(cfg)).Decide(synthObs(cfg, uniform(8, memory)))
 	if d.MemStep > 3 {
 		t.Errorf("memory-bound: memory scaled to step %d, should stay high", d.MemStep)
 	}
@@ -139,7 +146,7 @@ func TestHeterogeneousCoresGetDifferentSteps(t *testing.T) {
 	// performance cost is lower).
 	cfg := testCfg(8)
 	perCore := append(uniform(4, compute), uniform(4, memory)...)
-	d := New(cfg).Decide(synthObs(cfg, perCore))
+	d := must(New(cfg)).Decide(synthObs(cfg, perCore))
 	avgCompute, avgMemory := 0.0, 0.0
 	for i := 0; i < 4; i++ {
 		avgCompute += float64(d.CoreSteps[i]) / 4
@@ -160,8 +167,8 @@ func TestGroupingEscapesLocalMinimum(t *testing.T) {
 		StallL2: 7.5e-9, Beta: 0.0022, MemPerInstr: 0.004, MLP: 1}))
 	ev := policy.NewEvaluator(cfg, obs)
 
-	with := New(cfg).Decide(obs)
-	without := NewWithOptions(cfg, Options{DisableGrouping: true}).Decide(obs)
+	with := must(New(cfg)).Decide(obs)
+	without := must(NewWithOptions(cfg, Options{DisableGrouping: true})).Decide(obs)
 	serWith := ev.Evaluate(with.CoreSteps, with.MemStep).SER
 	serWithout := ev.Evaluate(without.CoreSteps, without.MemStep).SER
 	if serWith > serWithout+1e-9 {
@@ -177,8 +184,8 @@ func TestMarginalCacheMatchesUncached(t *testing.T) {
 	perCore := append(uniform(4, compute), uniform(4, memory)...)
 	obs := synthObs(cfg, perCore)
 	ev := policy.NewEvaluator(cfg, obs)
-	cached := New(cfg).Decide(obs)
-	uncached := NewWithOptions(cfg, Options{DisableMarginalCache: true}).Decide(obs)
+	cached := must(New(cfg)).Decide(obs)
+	uncached := must(NewWithOptions(cfg, Options{DisableMarginalCache: true})).Decide(obs)
 	a := ev.Evaluate(cached.CoreSteps, cached.MemStep).SER
 	b := ev.Evaluate(uncached.CoreSteps, uncached.MemStep).SER
 	if math.Abs(a-b) > 0.02 {
@@ -188,7 +195,7 @@ func TestMarginalCacheMatchesUncached(t *testing.T) {
 
 func TestNegativeSlackForcesMaxFrequency(t *testing.T) {
 	cfg := testCfg(4)
-	cs := New(cfg)
+	cs := must(New(cfg))
 	obs := synthObs(cfg, uniform(4, compute))
 	// Deliver epochs that ran way over bound so slack goes deeply negative.
 	slow := obs
@@ -208,7 +215,7 @@ func TestNegativeSlackForcesMaxFrequency(t *testing.T) {
 
 func TestSlackAccumulationAllowsDeeperScaling(t *testing.T) {
 	cfg := testCfg(4)
-	cs := New(cfg)
+	cs := must(New(cfg))
 	obs := synthObs(cfg, uniform(4, compute))
 	d1 := cs.Decide(obs)
 	// Several fast epochs bank slack...
@@ -237,8 +244,8 @@ func TestSlackAccumulationAllowsDeeperScaling(t *testing.T) {
 func TestDecideDeterministic(t *testing.T) {
 	cfg := testCfg(8)
 	obs := synthObs(cfg, append(uniform(4, compute), uniform(4, memory)...))
-	d1 := New(cfg).Decide(obs)
-	d2 := New(cfg).Decide(obs)
+	d1 := must(New(cfg)).Decide(obs)
+	d2 := must(New(cfg)).Decide(obs)
 	if d1.MemStep != d2.MemStep {
 		t.Error("decisions differ across identical controllers")
 	}
@@ -251,7 +258,7 @@ func TestDecideDeterministic(t *testing.T) {
 
 func TestSearchHandlesSingleCore(t *testing.T) {
 	cfg := testCfg(1)
-	d := New(cfg).Decide(synthObs(cfg, uniform(1, compute)))
+	d := must(New(cfg)).Decide(synthObs(cfg, uniform(1, compute)))
 	if len(d.CoreSteps) != 1 {
 		t.Fatalf("decision has %d cores", len(d.CoreSteps))
 	}
@@ -268,7 +275,7 @@ func TestSearchHandlesTinyLadders(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.CoreLadder, cfg.MemLadder = cl, ml
-	d := New(cfg).Decide(synthObs(cfg, uniform(4, compute)))
+	d := must(New(cfg)).Decide(synthObs(cfg, uniform(4, compute)))
 	if d.MemStep < 0 || d.MemStep > 1 {
 		t.Errorf("MemStep %d out of ladder", d.MemStep)
 	}

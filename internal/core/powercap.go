@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"coscale/internal/policy"
@@ -24,21 +25,19 @@ type PowerCap struct {
 }
 
 // NewPowerCap builds a power-capping controller with the given full-system
-// budget in watts.
-func NewPowerCap(cfg policy.Config, capWatts float64) *PowerCap {
+// budget in watts, or an error for an invalid configuration or budget.
+func NewPowerCap(cfg policy.Config, capWatts float64) (*PowerCap, error) {
 	if err := cfg.Validate(); err != nil {
-		//lint:ignore nopanic constructor contract: configs come from PolicyConfig, already validated by sim.New
-		panic(err)
+		return nil, err
 	}
-	if capWatts <= 0 {
-		//lint:ignore nopanic caps are compile-time experiment constants; a non-positive one is a programmer error
-		panic("core: power cap must be positive")
+	if capWatts <= 0 || math.IsNaN(capWatts) {
+		return nil, fmt.Errorf("core: power cap %g W must be positive", capWatts)
 	}
 	return &PowerCap{
 		cfg:   cfg,
 		capW:  capWatts,
 		slack: policy.NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve),
-	}
+	}, nil
 }
 
 // Name implements policy.Policy.

@@ -8,16 +8,13 @@ import (
 )
 
 func TestPowerCapValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("zero cap accepted")
-		}
-	}()
-	NewPowerCap(testCfg(4), 0)
+	if _, err := NewPowerCap(testCfg(4), 0); err == nil {
+		t.Error("zero cap accepted")
+	}
 }
 
 func TestPowerCapName(t *testing.T) {
-	p := NewPowerCap(testCfg(4), 200)
+	p := must(NewPowerCap(testCfg(4), 200))
 	if p.Name() != "CoScale-PowerCap" || p.Cap() != 200 {
 		t.Errorf("Name/Cap = %s/%g", p.Name(), p.Cap())
 	}
@@ -32,7 +29,7 @@ func TestPowerCapMeetsBudget(t *testing.T) {
 
 	for _, frac := range []float64{0.9, 0.75, 0.6} {
 		cap := full * frac
-		d := NewPowerCap(cfg, cap).Decide(obs)
+		d := must(NewPowerCap(cfg, cap)).Decide(obs)
 		e := ev.Evaluate(d.CoreSteps, d.MemStep)
 		if e.Power.Total > cap*1.001 {
 			t.Errorf("cap %.0f W (%.0f%%): predicted power %.0f W over budget", cap, frac*100, e.Power.Total)
@@ -47,7 +44,7 @@ func TestPowerCapPrefersFastestCompliantPoint(t *testing.T) {
 	full := ev.Baseline().Power.Total
 
 	// A generous cap should not slow the system at all.
-	d := NewPowerCap(cfg, full*1.05).Decide(obs)
+	d := must(NewPowerCap(cfg, full*1.05)).Decide(obs)
 	e := ev.Evaluate(d.CoreSteps, d.MemStep)
 	if e.MaxSlow > 1.0001 {
 		t.Errorf("generous cap caused slowdown %.4f", e.MaxSlow)
@@ -55,8 +52,8 @@ func TestPowerCapPrefersFastestCompliantPoint(t *testing.T) {
 
 	// A tighter cap slows things, but monotonically: a lower cap must not
 	// give a faster system.
-	d90 := NewPowerCap(cfg, full*0.9).Decide(obs)
-	d70 := NewPowerCap(cfg, full*0.7).Decide(obs)
+	d90 := must(NewPowerCap(cfg, full*0.9)).Decide(obs)
+	d70 := must(NewPowerCap(cfg, full*0.7)).Decide(obs)
 	s90 := ev.Evaluate(d90.CoreSteps, d90.MemStep).MaxSlow
 	s70 := ev.Evaluate(d70.CoreSteps, d70.MemStep).MaxSlow
 	if s70 < s90-1e-9 {
@@ -68,7 +65,7 @@ func TestPowerCapUnreachableFallsBackToMinimumPower(t *testing.T) {
 	cfg := testCfg(8)
 	obs := synthObs(cfg, uniform(8, memory))
 	ev := policy.NewEvaluator(cfg, obs)
-	d := NewPowerCap(cfg, 1).Decide(obs) // 1 W: impossible
+	d := must(NewPowerCap(cfg, 1)).Decide(obs) // 1 W: impossible
 	e := ev.Evaluate(d.CoreSteps, d.MemStep)
 	// Must be at or near the ladder bottoms.
 	if d.MemStep != cfg.MemLadder.Steps()-1 {
@@ -86,7 +83,7 @@ func TestPowerCapUnreachableFallsBackToMinimumPower(t *testing.T) {
 
 func TestPowerCapObserveAccumulatesSlack(t *testing.T) {
 	cfg := testCfg(4)
-	p := NewPowerCap(cfg, 300)
+	p := must(NewPowerCap(cfg, 300))
 	obs := synthObs(cfg, uniform(4, compute))
 	obs.Window = cfg.EpochLen.Seconds()
 	p.Observe(obs) // must not panic; slack bookkeeping exercised
@@ -101,7 +98,7 @@ func TestPowerCapRespectsCapOverSLO(t *testing.T) {
 	ev := policy.NewEvaluator(cfg, obs)
 	full := ev.Baseline().Power.Total
 	cap := full * 0.65
-	d := NewPowerCap(cfg, cap).Decide(obs)
+	d := must(NewPowerCap(cfg, cap)).Decide(obs)
 	e := ev.Evaluate(d.CoreSteps, d.MemStep)
 	if e.Power.Total > cap*1.001 {
 		t.Errorf("cap not met under tight SLO: %.0f W > %.0f W", e.Power.Total, cap)
@@ -115,7 +112,7 @@ func TestPowerCapWithRescaledSystem(t *testing.T) {
 	obs := synthObs(cfg, uniform(8, memory))
 	ev := policy.NewEvaluator(cfg, obs)
 	cap := ev.Baseline().Power.Total * 0.8
-	d := NewPowerCap(cfg, cap).Decide(obs)
+	d := must(NewPowerCap(cfg, cap)).Decide(obs)
 	if e := ev.Evaluate(d.CoreSteps, d.MemStep); e.Power.Total > cap*1.001 {
 		t.Errorf("cap not met on rescaled system: %.0f > %.0f", e.Power.Total, cap)
 	}

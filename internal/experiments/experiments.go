@@ -31,16 +31,21 @@ const (
 	SemiOoPName     PolicyName = "Semi-coordinated-OoP"
 	NoGroupingName  PolicyName = "CoScale-NoGrouping"
 	NoMarginalCache PolicyName = "CoScale-NoCache"
+	// HardenedName is CoScale wrapped in the graceful-degradation watchdog
+	// (policy.Harden), for the error-tolerance study.
+	HardenedName PolicyName = "CoScale-Hardened"
 )
 
 // PracticalPolicies is the Figure 8/9 comparison set in presentation order.
 var PracticalPolicies = []PolicyName{MemScaleName, CPUOnlyName, UncoordName, SemiName, CoScaleName, OfflineName}
 
-// NewPolicy instantiates a controller by name (nil for Baseline).
-func NewPolicy(name PolicyName, cfg policy.Config) policy.Policy {
+// NewPolicy instantiates a controller by name (nil for Baseline). Unknown
+// names and invalid configurations are returned as errors: both reach this
+// point from user input (CLI flags, experiment tables).
+func NewPolicy(name PolicyName, cfg policy.Config) (policy.Policy, error) {
 	switch name {
 	case Baseline:
-		return nil
+		return nil, nil
 	case MemScaleName:
 		return policy.NewMemScale(cfg)
 	case CPUOnlyName:
@@ -50,9 +55,12 @@ func NewPolicy(name PolicyName, cfg policy.Config) policy.Policy {
 	case SemiName:
 		return policy.NewSemiCoordinated(cfg)
 	case SemiOoPName:
-		p := policy.NewSemiCoordinated(cfg)
+		p, err := policy.NewSemiCoordinated(cfg)
+		if err != nil {
+			return nil, err
+		}
 		p.OutOfPhase = true
-		return p
+		return p, nil
 	case CoScaleName:
 		return core.New(cfg)
 	case OfflineName:
@@ -61,9 +69,14 @@ func NewPolicy(name PolicyName, cfg policy.Config) policy.Policy {
 		return core.NewWithOptions(cfg, core.Options{DisableGrouping: true})
 	case NoMarginalCache:
 		return core.NewWithOptions(cfg, core.Options{DisableMarginalCache: true})
+	case HardenedName:
+		p, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return policy.Harden(cfg, p)
 	}
-	//lint:ignore nopanic policy names are compile-time constants; an unknown one is a programmer error
-	panic(fmt.Sprintf("experiments: unknown policy %q", name))
+	return nil, fmt.Errorf("experiments: unknown policy %q", name)
 }
 
 // Runner executes experiments. The zero value uses the paper's full settings;
@@ -172,6 +185,16 @@ func (o *Outcome) WorstDegradation() float64 {
 // are deduplicated singleflight-style: one goroutine simulates, the rest
 // wait for its result.
 func (r *Runner) Execute(mixName string, pol PolicyName, mutate func(*sim.Config), keyExtra string) (*Outcome, error) {
+	return r.executeVsBase(mixName, pol, mutate, keyExtra, mutate, keyExtra)
+}
+
+// executeVsBase is Execute with an independently keyed baseline: the policy
+// run is built with mutate under keyExtra while the comparison baseline uses
+// (baseMutate, baseKey). The fault-tolerance study uses this to compare
+// every fault scenario against the one fault-free baseline — the true
+// maximum-frequency performance — instead of simulating an identical
+// baseline per scenario.
+func (r *Runner) executeVsBase(mixName string, pol PolicyName, mutate func(*sim.Config), keyExtra string, baseMutate func(*sim.Config), baseKey string) (*Outcome, error) {
 	key := mixName + "/" + string(pol) + "/" + keyExtra
 	r.mu.Lock()
 	if r.cache == nil {
@@ -184,14 +207,14 @@ func (r *Runner) Execute(mixName string, pol PolicyName, mutate func(*sim.Config
 	}
 	r.mu.Unlock()
 	c.once.Do(func() {
-		c.out, c.err = r.execute(mixName, pol, mutate, keyExtra)
+		c.out, c.err = r.execute(mixName, pol, mutate, baseMutate, baseKey)
 	})
 	return c.out, c.err
 }
 
 // execute performs the (cache-miss) simulation work behind Execute.
-func (r *Runner) execute(mixName string, pol PolicyName, mutate func(*sim.Config), keyExtra string) (*Outcome, error) {
-	base, err := r.baseline(mixName, mutate, keyExtra)
+func (r *Runner) execute(mixName string, pol PolicyName, mutate, baseMutate func(*sim.Config), baseKey string) (*Outcome, error) {
+	base, err := r.baseline(mixName, baseMutate, baseKey)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: baseline %s: %w", mixName, err)
 	}
@@ -232,7 +255,11 @@ func (r *Runner) runOne(mixName string, pol PolicyName, mutate func(*sim.Config)
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	cfg.Policy = NewPolicy(pol, cfg.PolicyConfig())
+	p, err := NewPolicy(pol, cfg.PolicyConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = p
 	eng, err := sim.New(cfg)
 	if err != nil {
 		return nil, err

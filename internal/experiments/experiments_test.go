@@ -348,14 +348,11 @@ func indexOf(s, sub string) int {
 	return -1
 }
 
-func TestNewPolicyUnknownPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown policy did not panic")
-		}
-	}()
+func TestNewPolicyUnknownErrors(t *testing.T) {
 	r := NewRunner(testBudget)
-	_, _ = r.Execute("MID1", PolicyName("Nope"), nil, "x")
+	if _, err := r.Execute("MID1", PolicyName("Nope"), nil, "x"); err == nil {
+		t.Error("unknown policy did not return an error")
+	}
 }
 
 func TestAblations(t *testing.T) {

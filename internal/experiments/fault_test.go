@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"coscale/internal/fault"
+)
+
+// biasScenario is the headline degradation mechanism: a uniform counter
+// bias survives every per-instruction ratio the controller derives (the
+// ratios cancel) but inflates the instruction counts feeding the slack
+// accounting, so the controller banks slack the programs never earned and
+// spends it as a real bound violation.
+func biasScenario(b float64) fault.Config {
+	return fault.Config{Seed: 0xB1A5, Counters: fault.CounterFaults{Bias: b}}
+}
+
+// TestCounterBiasBreaksUnhardenedCoScale: under a 20% uniform counter bias,
+// bare CoScale violates the 10% bound against the true (fault-free)
+// baseline, while the Hardened wrapper detects the implausible counters,
+// rides maximum frequency, and keeps the bound.
+func TestCounterBiasBreaksUnhardenedCoScale(t *testing.T) {
+	r := NewRunner(testBudget)
+	scen := biasScenario(0.2)
+
+	bare, err := r.executeVsBase(ErrorToleranceMix, CoScaleName,
+		faultMutator(scen), "fault:test-bias", nil, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := r.executeVsBase(ErrorToleranceMix, HardenedName,
+		faultMutator(scen), "fault:test-bias", nil, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("bias 0.2: CoScale worst-deg %.1f%% (savings %.1f%%), Hardened worst-deg %.1f%% (savings %.1f%%)",
+		bare.WorstDegradation()*100, bare.FullSavings()*100,
+		hard.WorstDegradation()*100, hard.FullSavings()*100)
+
+	if w := bare.WorstDegradation(); w <= ViolationThreshold {
+		t.Errorf("unhardened CoScale under 20%% counter bias degraded only %.1f%%; expected a bound violation (> %.1f%%)",
+			w*100, ViolationThreshold*100)
+	}
+	if w := hard.WorstDegradation(); w > ViolationThreshold {
+		t.Errorf("Hardened CoScale violated the bound under 20%% counter bias: worst degradation %.1f%%", w*100)
+	}
+}
+
+// TestHardenedTransparentFaultFree: with no faults injected the watchdog
+// must not interfere — the hardened controller still meets the bound and
+// saves essentially the same energy as bare CoScale.
+func TestHardenedTransparentFaultFree(t *testing.T) {
+	r := NewRunner(testBudget)
+	bare, err := r.Execute(ErrorToleranceMix, CoScaleName, nil, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := r.Execute(ErrorToleranceMix, HardenedName, nil, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fault-free: CoScale savings %.1f%%, Hardened savings %.1f%%",
+		bare.FullSavings()*100, hard.FullSavings()*100)
+	if w := hard.WorstDegradation(); w > ViolationThreshold {
+		t.Errorf("fault-free Hardened run violated the bound: %.1f%%", w*100)
+	}
+	if hard.FullSavings() < bare.FullSavings()-0.02 {
+		t.Errorf("watchdog cost too much energy fault-free: %.1f%% vs CoScale's %.1f%%",
+			hard.FullSavings()*100, bare.FullSavings()*100)
+	}
+}

@@ -1,0 +1,167 @@
+// Error-tolerance study (DESIGN.md §8): how CoScale degrades when the
+// counters and actuators it trusts start lying, and how the Hardened
+// watchdog wrapper (policy.Harden) restores graceful degradation. Not a
+// paper figure — the paper assumes ideal sensors — but the natural
+// robustness companion to its evaluation.
+
+package experiments
+
+import (
+	"fmt"
+
+	"coscale/internal/fault"
+	"coscale/internal/sim"
+)
+
+// ErrorToleranceMix is the workload the robustness study runs on: a MID mix,
+// where CoScale actively trades both knobs and therefore has the most slack
+// to mis-spend when its inputs go bad.
+const ErrorToleranceMix = "MID1"
+
+// ViolationThreshold is the worst-program degradation above which a run is
+// counted as a bound violation: the 10% bound plus the repository-wide 1.5
+// point measurement tolerance used by the tier-1 tests.
+const ViolationThreshold = 0.115
+
+// FaultRow is one (scenario, policy) cell of the error-tolerance study.
+type FaultRow struct {
+	Scenario  string  // scenario id, e.g. "counter-bias-0.05"
+	Magnitude float64 // scenario strength (probability, bias, epochs...)
+	Policy    PolicyName
+	Savings   float64 // full-system energy savings vs the fault-free baseline
+	AvgDeg    float64
+	WorstDeg  float64
+	Violation bool // WorstDeg > ViolationThreshold
+}
+
+// faultCase is one named injection scenario.
+type faultCase struct {
+	id  string
+	mag float64
+	cfg fault.Config
+}
+
+// faultCases enumerates the study's scenarios. Every scenario uses a fixed
+// seed so the study is reproducible run to run; the fault-free reference
+// case comes first.
+func faultCases() []faultCase {
+	const seed = 0xC05CA1EFA017
+	cases := []faultCase{{id: "none", mag: 0}}
+	counters := func(kind string, mag float64, c fault.CounterFaults) {
+		cases = append(cases, faultCase{
+			id: fmt.Sprintf("counter-%s-%g", kind, mag), mag: mag,
+			cfg: fault.Config{Seed: seed, Counters: c},
+		})
+	}
+	for _, b := range []float64{0.01, 0.05, 0.2} {
+		counters("bias", b, fault.CounterFaults{Bias: b})
+	}
+	for _, n := range []float64{0.01, 0.05, 0.2} {
+		counters("noise", n, fault.CounterFaults{Noise: n})
+	}
+	for _, p := range []float64{0.1, 0.3} {
+		counters("stale", p, fault.CounterFaults{StaleProb: p})
+	}
+	for _, p := range []float64{0.05, 0.2} {
+		counters("drop", p, fault.CounterFaults{DropProb: p})
+	}
+	for _, b := range []float64{0.1, 0.3} {
+		cases = append(cases, faultCase{
+			id: fmt.Sprintf("power-bias-%g", b), mag: b,
+			cfg: fault.Config{Seed: seed, PowerBias: b},
+		})
+	}
+	for _, lag := range []int{1, 3} {
+		cases = append(cases, faultCase{
+			id: fmt.Sprintf("actuation-lag-%d", lag), mag: float64(lag),
+			cfg: fault.Config{Seed: seed, Actuation: fault.ActuationFaults{LagEpochs: lag}},
+		})
+	}
+	for _, p := range []float64{0.2, 0.5} {
+		cases = append(cases, faultCase{
+			id: fmt.Sprintf("actuation-drop-%g", p), mag: p,
+			cfg: fault.Config{Seed: seed, Actuation: fault.ActuationFaults{DropProb: p}},
+		})
+	}
+	cases = append(cases, faultCase{
+		id: "actuation-stuck-0.05", mag: 0.05,
+		cfg: fault.Config{Seed: seed, Actuation: fault.ActuationFaults{StuckProb: 0.05, StuckEpochs: 5}},
+	})
+	cases = append(cases, faultCase{
+		id: "thermal-0.02", mag: 0.02,
+		cfg: fault.Config{Seed: seed, Actuation: fault.ActuationFaults{
+			ThermalProb: 0.02, ThermalEpochs: 10, ThermalMinCoreStep: 5,
+		}},
+	})
+	return cases
+}
+
+// faultMutator returns a config mutator installing one scenario. The
+// zero-value scenario installs no injector at all, keeping the reference
+// run on the golden-compatible engine path.
+func faultMutator(cfg fault.Config) func(*sim.Config) {
+	if cfg == (fault.Config{}) {
+		return nil
+	}
+	return func(c *sim.Config) {
+		f := cfg
+		c.Faults = &f
+	}
+}
+
+// ErrorTolerance runs CoScale and CoScale-Hardened under every fault
+// scenario on ErrorToleranceMix. Degradation and savings are measured
+// against the fault-free baseline (the true maximum-frequency run), so a
+// controller misled into over-slowing the system shows up as a genuine
+// bound violation.
+func (r *Runner) ErrorTolerance() ([]FaultRow, error) {
+	cases := faultCases()
+	pols := []PolicyName{CoScaleName, HardenedName}
+	rows := make([]FaultRow, len(cases)*len(pols))
+	err := r.forEach(len(rows), func(k int) error {
+		ci, pi := k/len(pols), k%len(pols)
+		row, err := r.errorToleranceOne(cases[ci], pols[pi])
+		if err != nil {
+			return err
+		}
+		rows[k] = row
+		return nil
+	})
+	return rows, err
+}
+
+// errorToleranceOne runs one (scenario, policy) cell against the shared
+// fault-free baseline.
+func (r *Runner) errorToleranceOne(fc faultCase, pol PolicyName) (FaultRow, error) {
+	o, err := r.executeVsBase(ErrorToleranceMix, pol, faultMutator(fc.cfg),
+		"fault:"+fc.id, nil, "default")
+	if err != nil {
+		return FaultRow{}, err
+	}
+	worst := o.WorstDegradation()
+	return FaultRow{
+		Scenario:  fc.id,
+		Magnitude: fc.mag,
+		Policy:    pol,
+		Savings:   o.FullSavings(),
+		AvgDeg:    o.AvgDegradation(),
+		WorstDeg:  worst,
+		Violation: worst > ViolationThreshold,
+	}, nil
+}
+
+// FormatErrorTolerance renders the study as a scenario × policy table.
+func FormatErrorTolerance(rows []FaultRow) string {
+	s := "Error tolerance (MID1): CoScale vs CoScale-Hardened under injected faults\n"
+	s += fmt.Sprintf("%-22s %-18s %9s %9s %9s  %s\n",
+		"scenario", "policy", "savings", "avg-deg", "worst", "bound")
+	for _, r := range rows {
+		verdict := "ok"
+		if r.Violation {
+			verdict = "VIOLATED"
+		}
+		s += fmt.Sprintf("%-22s %-18s %8.1f%% %8.1f%% %8.1f%%  %s\n",
+			r.Scenario, r.Policy, r.Savings*100, r.AvgDeg*100, r.WorstDeg*100, verdict)
+	}
+	return s
+}

@@ -71,33 +71,51 @@ func (r *Runner) Figure11() ([]SensitivityRow, error) {
 		})
 }
 
-// powerRatio maps the Figure 12/13 CPU:Mem labels to calibration fractions
-// with the rest share fixed at 10%.
-func powerRatioSystem(v string, nCores int) power.System {
+// powerRatioFractions maps a Figure 12/13 CPU:Mem label to calibration
+// fractions with the rest share fixed at 10%. The label reaches this point
+// from sweep tables and (eventually) CLI surfaces, so an unknown one is a
+// returned error, not a panic.
+func powerRatioFractions(v string) (cpu, mem, rest float64, err error) {
 	switch v {
 	case "2:1":
-		return power.CalibratedSystem(nCores, 0.60, 0.30, 0.10)
+		return 0.60, 0.30, 0.10, nil
 	case "1:1":
-		return power.CalibratedSystem(nCores, 0.45, 0.45, 0.10)
+		return 0.45, 0.45, 0.10, nil
 	case "1:2":
-		return power.CalibratedSystem(nCores, 0.30, 0.60, 0.10)
+		return 0.30, 0.60, 0.10, nil
 	}
-	//lint:ignore nopanic ratio labels are compile-time constants; an unknown one is a programmer error
-	panic("experiments: unknown power ratio " + v)
+	return 0, 0, 0, fmt.Errorf("experiments: unknown power ratio %q", v)
+}
+
+// ratioSweep runs the CPU:Mem power-ratio sweep over one mix class,
+// resolving every ratio label before any simulation starts.
+func (r *Runner) ratioSweep(id string, mixes, variants []string) ([]SensitivityRow, error) {
+	type fractions struct{ cpu, mem, rest float64 }
+	built := make(map[string]fractions, len(variants))
+	for _, v := range variants {
+		cpu, mem, rest, err := powerRatioFractions(v)
+		if err != nil {
+			return nil, err
+		}
+		built[v] = fractions{cpu, mem, rest}
+	}
+	return r.sweep(id, mixes, variants,
+		func(v string, c *sim.Config) {
+			f := built[v]
+			c.Power = power.CalibratedSystem(c.Mix.Cores(), f.cpu, f.mem, f.rest)
+		})
 }
 
 // Figure12 varies the CPU:Mem power ratio on the MID mixes (savings should
 // increase as memory power grows).
 func (r *Runner) Figure12() ([]SensitivityRow, error) {
-	return r.sweep("ratio-mid", classMixNames(trace.MID), []string{"2:1", "1:1", "1:2"},
-		func(v string, c *sim.Config) { c.Power = powerRatioSystem(v, c.Mix.Cores()) })
+	return r.ratioSweep("ratio-mid", classMixNames(trace.MID), []string{"2:1", "1:1", "1:2"})
 }
 
 // Figure13 is the same sweep on the MEM mixes (trend reverses: most savings
 // come from scaling the CPU).
 func (r *Runner) Figure13() ([]SensitivityRow, error) {
-	return r.sweep("ratio-mem", classMixNames(trace.MEM), []string{"2:1", "1:1", "1:2"},
-		func(v string, c *sim.Config) { c.Power = powerRatioSystem(v, c.Mix.Cores()) })
+	return r.ratioSweep("ratio-mem", classMixNames(trace.MEM), []string{"2:1", "1:1", "1:2"})
 }
 
 // Figure14 compares the full CPU voltage range (0.65-1.2 V) against a

@@ -13,6 +13,7 @@ package freq
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Hz helpers. Frequencies are plain float64 Hz; these constants keep literal
@@ -50,7 +51,8 @@ func NewLadder(minHz, maxHz, minV, maxV float64, n int) (*Ladder, error) {
 	if n < 1 {
 		return nil, ErrEmptyLadder
 	}
-	if minHz <= 0 || maxHz < minHz || minV <= 0 || maxV < minV {
+	if minHz <= 0 || maxHz < minHz || minV <= 0 || maxV < minV ||
+		!finite(minHz, maxHz, minV, maxV) {
 		return nil, ErrBadRange
 	}
 	pts := make([]Point, n)
@@ -59,8 +61,18 @@ func NewLadder(minHz, maxHz, minV, maxV float64, n int) (*Ladder, error) {
 		if n > 1 {
 			frac = float64(i) / float64(n-1) // 0 at top, 1 at bottom
 		}
+		// The interpolation is exact for practical ranges, but with extreme
+		// ranges (minHz subnormal, maxHz near overflow) the subtraction can
+		// round below the mathematical floor — clamp so every point stays
+		// within the requested range.
 		hz := maxHz - frac*(maxHz-minHz)
+		if hz < minHz {
+			hz = minHz
+		}
 		v := maxV - frac*(maxV-minV)
+		if v < minV {
+			v = minV
+		}
 		pts[i] = Point{Hz: hz, Volts: v}
 	}
 	return &Ladder{points: pts}, nil
@@ -70,21 +82,50 @@ func NewLadder(minHz, maxHz, minV, maxV float64, n int) (*Ladder, error) {
 // stepHz until the next point would fall below minHz. Voltage scales linearly
 // with frequency over [minV, maxV].
 func NewLadderSteps(minHz, maxHz, stepHz, minV, maxV float64, maxSteps int) (*Ladder, error) {
-	if minHz <= 0 || maxHz < minHz || stepHz <= 0 || minV <= 0 || maxV < minV {
+	if minHz <= 0 || maxHz < minHz || stepHz <= 0 || minV <= 0 || maxV < minV ||
+		!finite(minHz, maxHz, stepHz, minV, maxV) {
 		return nil, ErrBadRange
 	}
 	var pts []Point
 	for hz := maxHz; hz >= minHz-1e-3 && (maxSteps <= 0 || len(pts) < maxSteps); hz -= stepHz {
 		frac := 0.0
 		if maxHz > minHz {
+			// The loop tolerance admits hz slightly below minHz, and a range
+			// much narrower than the tolerance would then extrapolate frac
+			// far past 1 (driving voltage negative) — clamp to the voltage
+			// range instead.
 			frac = (maxHz - hz) / (maxHz - minHz)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
 		}
-		pts = append(pts, Point{Hz: hz, Volts: maxV - frac*(maxV-minV)})
+		// Even with frac clamped, maxV - frac*(maxV-minV) can round a hair
+		// below minV at frac == 1 — clamp the voltage itself.
+		v := maxV - frac*(maxV-minV)
+		if v < minV {
+			v = minV
+		}
+		pts = append(pts, Point{Hz: hz, Volts: v})
 	}
 	if len(pts) == 0 {
 		return nil, ErrEmptyLadder
 	}
 	return &Ladder{points: pts}, nil
+}
+
+// finite reports whether every argument is a finite float (the ordered
+// comparisons in the constructors are all false for NaN, so NaN ranges would
+// otherwise slip through and poison every operating point).
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // Steps returns the number of operating points.

@@ -1,0 +1,102 @@
+package freq
+
+import (
+	"math"
+	"testing"
+)
+
+// checkLadder asserts the structural invariants every constructed ladder must
+// satisfy regardless of how hostile the input range was: at least one point,
+// finite positive frequencies and voltages, frequencies non-increasing from
+// step 0, and self-consistent accessors.
+func checkLadder(t *testing.T, l *Ladder) {
+	t.Helper()
+	n := l.Steps()
+	if n < 1 {
+		t.Fatalf("ladder with %d steps", n)
+	}
+	prev := math.Inf(1)
+	for i := 0; i < n; i++ {
+		p := l.Point(i)
+		if math.IsNaN(p.Hz) || math.IsInf(p.Hz, 0) || p.Hz <= 0 {
+			t.Fatalf("step %d: non-finite or non-positive frequency %v", i, p.Hz)
+		}
+		if math.IsNaN(p.Volts) || math.IsInf(p.Volts, 0) || p.Volts <= 0 {
+			t.Fatalf("step %d: non-finite or non-positive voltage %v", i, p.Volts)
+		}
+		if p.Hz > prev {
+			t.Fatalf("step %d: frequency %v above previous step's %v", i, p.Hz, prev)
+		}
+		prev = p.Hz
+		if got := l.Hz(l.Nearest(p.Hz)); got != p.Hz {
+			t.Fatalf("Nearest(%v) resolved to frequency %v", p.Hz, got)
+		}
+	}
+	if l.MaxHz() != l.Hz(0) || l.MinHz() != l.Hz(n-1) {
+		t.Fatalf("MaxHz/MinHz disagree with endpoint steps")
+	}
+	if got := l.Clamp(-3); got != 0 {
+		t.Fatalf("Clamp(-3) = %d, want 0", got)
+	}
+	if got := l.Clamp(n + 3); got != n-1 {
+		t.Fatalf("Clamp(%d) = %d, want %d", n+3, got, n-1)
+	}
+}
+
+func FuzzNewLadder(f *testing.F) {
+	f.Add(DefaultCoreMinHz, DefaultCoreMaxHz, DefaultCoreMinV, DefaultCoreMaxV, DefaultCoreSteps)
+	f.Add(1.0, 1.0, 1.0, 1.0, 1)
+	f.Add(math.SmallestNonzeroFloat64, math.MaxFloat64, math.SmallestNonzeroFloat64, math.MaxFloat64, 16)
+	f.Add(0.0, -1.0, math.NaN(), math.Inf(1), 10)
+	f.Fuzz(func(t *testing.T, minHz, maxHz, minV, maxV float64, n int) {
+		if n > 4096 {
+			n %= 4096
+		}
+		l, err := NewLadder(minHz, maxHz, minV, maxV, n)
+		if err != nil {
+			return
+		}
+		if l.Steps() != n {
+			t.Fatalf("asked for %d steps, got %d", n, l.Steps())
+		}
+		checkLadder(t, l)
+		if l.MaxHz() > maxHz || l.MinHz() < minHz {
+			t.Fatalf("ladder [%v,%v] escapes requested range [%v,%v]",
+				l.MinHz(), l.MaxHz(), minHz, maxHz)
+		}
+	})
+}
+
+func FuzzNewLadderSteps(f *testing.F) {
+	f.Add(DefaultMemMinHz, DefaultMemMaxHz, DefaultMemStepHz, DefaultCoreMinV, DefaultCoreMaxV, DefaultMemSteps)
+	f.Add(1.0, 2.0, 0.5, 0.5, 1.0, 0)
+	f.Add(1.0, 1.0, 1e-9, 1.0, 1.0, 3)
+	f.Add(math.NaN(), math.Inf(1), -1.0, 0.0, math.MaxFloat64, 10)
+	f.Fuzz(func(t *testing.T, minHz, maxHz, stepHz, minV, maxV float64, maxSteps int) {
+		// Always bound the loop: a subnormal stepHz with no cap would walk
+		// the [minHz, maxHz] range in astronomically many iterations.
+		if maxSteps < 0 {
+			maxSteps = -maxSteps
+		}
+		maxSteps = 1 + maxSteps%4096
+		l, err := NewLadderSteps(minHz, maxHz, stepHz, minV, maxV, maxSteps)
+		if err != nil {
+			return
+		}
+		if l.Steps() > maxSteps {
+			t.Fatalf("%d steps exceeds cap %d", l.Steps(), maxSteps)
+		}
+		checkLadder(t, l)
+		if l.MaxHz() != maxHz {
+			t.Fatalf("top step %v, want maxHz %v", l.MaxHz(), maxHz)
+		}
+		if l.MinHz() < minHz-1e-3 {
+			t.Fatalf("bottom step %v below minHz %v minus tolerance", l.MinHz(), minHz)
+		}
+		for i := 0; i < l.Steps(); i++ {
+			if v := l.Volts(i); v < minV || v > maxV {
+				t.Fatalf("step %d voltage %v outside [%v,%v]", i, v, minV, maxV)
+			}
+		}
+	})
+}

@@ -20,14 +20,15 @@ import (
 //     collect and sort the keys first.
 var Determinism = &Analyzer{
 	Name:  "determinism",
-	Doc:   "forbid time.Now, global math/rand, and map iteration in sim/trace/policy/core",
+	Doc:   "forbid time.Now, global math/rand, and map iteration in sim/trace/policy/core/fault",
 	Match: determinismScope,
 	Run:   runDeterminism,
 }
 
 // determinismPackages are the bit-reproducible packages, relative to
-// <module>/internal/.
-var determinismPackages = []string{"sim", "trace", "policy", "core"}
+// <module>/internal/. fault is included because injected faults must replay
+// bit-identically from their seed (same seed + scenario -> same Result).
+var determinismPackages = []string{"sim", "trace", "policy", "core", "fault"}
 
 // determinismScope matches the reproducibility-critical packages and their
 // subpackages.

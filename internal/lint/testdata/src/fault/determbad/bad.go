@@ -1,0 +1,21 @@
+// Package determbad holds determinism violations inside the fault-injection
+// package path (coscale/internal/fault/...): injected faults must replay
+// bit-identically from their seed, so wall-clock reads, the global rand
+// source, and map iteration are all forbidden here too.
+package determbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func perturb(counters map[string]uint64) uint64 {
+	jitter := uint64(time.Now().UnixNano())
+	if rand.Intn(2) == 0 {
+		jitter++
+	}
+	for _, c := range counters {
+		jitter ^= c
+	}
+	return jitter
+}

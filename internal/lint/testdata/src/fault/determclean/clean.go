@@ -1,0 +1,28 @@
+// Package determclean holds deterministic fault-injection code the analyzer
+// must accept: a seeded counter-mode generator, mirroring how the real
+// internal/fault package derives every perturbation from its configured seed.
+package determclean
+
+import "sort"
+
+func splitmix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func perturb(counters map[string]uint64, seed uint64) uint64 {
+	names := make([]string, 0, len(counters))
+	//lint:ignore determinism keys are sorted before use
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := seed
+	for _, n := range names {
+		out ^= counters[n] + splitmix(&seed)
+	}
+	return out
+}

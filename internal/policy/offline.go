@@ -20,10 +20,13 @@ type Offline struct {
 	slack *SlackBook
 }
 
-// NewOffline returns the Offline policy.
-func NewOffline(cfg Config) *Offline {
-	mustValidate(cfg)
-	return &Offline{cfg: cfg, slack: NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve)}
+// NewOffline returns the Offline policy, or the configuration's validation
+// error.
+func NewOffline(cfg Config) (*Offline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Offline{cfg: cfg, slack: NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve)}, nil
 }
 
 // Name implements Policy.

@@ -12,6 +12,16 @@ import (
 	"coscale/internal/trace"
 )
 
+// must unwraps a constructor's (value, error) pair for test setup; a
+// non-nil error is a broken fixture, reported by panicking (Go forbids
+// f(t, g()) with a multi-valued g, so the helper cannot also take t).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func testCfg(n int) Config {
 	return Config{
 		NCores:     n,
@@ -199,7 +209,7 @@ func TestDecisionClone(t *testing.T) {
 
 func TestMemScaleLeavesCoresAlone(t *testing.T) {
 	cfg := testCfg(4)
-	p := NewMemScale(cfg)
+	p := must(NewMemScale(cfg))
 	if p.Name() != "MemScale" {
 		t.Errorf("Name() = %s", p.Name())
 	}
@@ -217,7 +227,7 @@ func TestMemScaleLeavesCoresAlone(t *testing.T) {
 
 func TestMemScaleKeepsMemoryHighUnderTraffic(t *testing.T) {
 	cfg := testCfg(16)
-	p := NewMemScale(cfg)
+	p := must(NewMemScale(cfg))
 	d := p.Decide(synthObs(cfg, memoryStats()))
 	if d.MemStep > 3 {
 		t.Errorf("MemScale scaled a memory-bound workload to step %d", d.MemStep)
@@ -226,7 +236,7 @@ func TestMemScaleKeepsMemoryHighUnderTraffic(t *testing.T) {
 
 func TestCPUOnlyLeavesMemoryAlone(t *testing.T) {
 	cfg := testCfg(4)
-	p := NewCPUOnly(cfg)
+	p := must(NewCPUOnly(cfg))
 	if p.Name() != "CPUOnly" {
 		t.Errorf("Name() = %s", p.Name())
 	}
@@ -248,7 +258,7 @@ func TestCPUOnlyLeavesMemoryAlone(t *testing.T) {
 
 func TestCPUOnlyRespectsBoundPrediction(t *testing.T) {
 	cfg := testCfg(4)
-	p := NewCPUOnly(cfg)
+	p := must(NewCPUOnly(cfg))
 	obs := synthObs(cfg, computeStats())
 	d := p.Decide(obs)
 	ev := NewEvaluator(cfg, obs)
@@ -262,7 +272,7 @@ func TestUncoordinatedDoubleSpends(t *testing.T) {
 	// Both managers consume a full γ against their own references, so the
 	// joint predicted slowdown should exceed 1+γ for a balanced workload.
 	cfg := testCfg(8)
-	p := NewUncoordinated(cfg)
+	p := must(NewUncoordinated(cfg))
 	if p.Name() != "Uncoordinated" {
 		t.Errorf("Name() = %s", p.Name())
 	}
@@ -280,7 +290,7 @@ func TestUncoordinatedDoubleSpends(t *testing.T) {
 
 func TestSemiCoordinatedSharedSlackHolds(t *testing.T) {
 	cfg := testCfg(8)
-	p := NewSemiCoordinated(cfg)
+	p := must(NewSemiCoordinated(cfg))
 	stats := perf.CoreStats{CPIBase: 1.3, Alpha: 0.008, StallL2: 7.5e-9, Beta: 0.002,
 		MemPerInstr: 0.004, MLP: 1}
 	obs := synthObs(cfg, stats)
@@ -305,7 +315,7 @@ func TestSemiCoordinatedSharedSlackHolds(t *testing.T) {
 
 func TestSemiOutOfPhaseAlternates(t *testing.T) {
 	cfg := testCfg(4)
-	p := NewSemiCoordinated(cfg)
+	p := must(NewSemiCoordinated(cfg))
 	p.OutOfPhase = true
 	if p.Name() != "Semi-coordinated-OoP" {
 		t.Errorf("Name() = %s", p.Name())
@@ -325,7 +335,7 @@ func TestSemiOutOfPhaseAlternates(t *testing.T) {
 
 func TestOfflineWantsOracle(t *testing.T) {
 	cfg := testCfg(4)
-	p := NewOffline(cfg)
+	p := must(NewOffline(cfg))
 	if !p.WantsOracle() {
 		t.Error("Offline must want oracle observations")
 	}
@@ -341,15 +351,15 @@ func TestOfflineBeatsOrMatchesSingleKnob(t *testing.T) {
 	obs := synthObs(cfg, stats)
 	ev := NewEvaluator(cfg, obs)
 
-	off := NewOffline(cfg).Decide(obs)
+	off := must(NewOffline(cfg)).Decide(obs)
 	offEval := ev.Evaluate(off.CoreSteps, off.MemStep)
 	if offEval.MaxSlow > 1.10+1e-6 {
 		t.Fatalf("Offline predicted slowdown %g violates bound", offEval.MaxSlow)
 	}
 
-	mem := NewMemScale(cfg).Decide(obs)
+	mem := must(NewMemScale(cfg)).Decide(obs)
 	memEval := ev.Evaluate(mem.CoreSteps, mem.MemStep)
-	cpu := NewCPUOnly(cfg).Decide(obs)
+	cpu := must(NewCPUOnly(cfg)).Decide(obs)
 	cpuEval := ev.Evaluate(cpu.CoreSteps, cpu.MemStep)
 
 	if offEval.SER > memEval.SER+1e-9 || offEval.SER > cpuEval.SER+1e-9 {

@@ -19,10 +19,13 @@ type SemiCoordinated struct {
 	epoch int
 }
 
-// NewSemiCoordinated returns the semi-coordinated policy.
-func NewSemiCoordinated(cfg Config) *SemiCoordinated {
-	mustValidate(cfg)
-	return &SemiCoordinated{cfg: cfg, slack: NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve)}
+// NewSemiCoordinated returns the semi-coordinated policy, or the
+// configuration's validation error.
+func NewSemiCoordinated(cfg Config) (*SemiCoordinated, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SemiCoordinated{cfg: cfg, slack: NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve)}, nil
 }
 
 // Name implements Policy.

@@ -138,10 +138,13 @@ type MemScale struct {
 	slack *SlackBook
 }
 
-// NewMemScale returns the MemScale policy.
-func NewMemScale(cfg Config) *MemScale {
-	mustValidate(cfg)
-	return &MemScale{cfg: cfg, slack: NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve)}
+// NewMemScale returns the MemScale policy, or the configuration's
+// validation error.
+func NewMemScale(cfg Config) (*MemScale, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &MemScale{cfg: cfg, slack: NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve)}, nil
 }
 
 // Name implements Policy.
@@ -167,10 +170,13 @@ type CPUOnly struct {
 	slack *SlackBook
 }
 
-// NewCPUOnly returns the CPUOnly policy.
-func NewCPUOnly(cfg Config) *CPUOnly {
-	mustValidate(cfg)
-	return &CPUOnly{cfg: cfg, slack: NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve)}
+// NewCPUOnly returns the CPUOnly policy, or the configuration's validation
+// error.
+func NewCPUOnly(cfg Config) (*CPUOnly, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &CPUOnly{cfg: cfg, slack: NewSlackBook(cfg.NCores, cfg.Gamma, cfg.Reserve)}, nil
 }
 
 // Name implements Policy.
@@ -188,11 +194,4 @@ func (p *CPUOnly) Decide(obs Observation) Decision {
 // Observe implements Policy.
 func (p *CPUOnly) Observe(epoch Observation) {
 	p.slack.RecordEpochFor(epoch.CoreThreads(), TMaxForEpoch(p.cfg, epoch, ZeroSteps(p.cfg.NCores), 0), epoch.Window)
-}
-
-func mustValidate(cfg Config) {
-	if err := cfg.Validate(); err != nil {
-		//lint:ignore nopanic constructor contract: configs come from PolicyConfig, already validated by sim.New
-		panic(err)
-	}
 }

@@ -14,10 +14,13 @@ type Uncoordinated struct {
 	cfg Config
 }
 
-// NewUncoordinated returns the uncoordinated two-manager policy.
-func NewUncoordinated(cfg Config) *Uncoordinated {
-	mustValidate(cfg)
-	return &Uncoordinated{cfg: cfg}
+// NewUncoordinated returns the uncoordinated two-manager policy, or the
+// configuration's validation error.
+func NewUncoordinated(cfg Config) (*Uncoordinated, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Uncoordinated{cfg: cfg}, nil
 }
 
 // Name implements Policy.

@@ -17,7 +17,7 @@ func TestStepZeroAllocSteadyState(t *testing.T) {
 	// A budget far beyond what the test commits keeps every application
 	// mid-run, so steps observe the steady state rather than termination.
 	cfg := Config{Mix: workload.MustGet("MID1"), InstrBudget: 1 << 50}
-	cfg.Policy = core.New(cfg.PolicyConfig())
+	cfg.Policy = must(core.New(cfg.PolicyConfig()))
 	eng, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

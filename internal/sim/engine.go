@@ -11,13 +11,13 @@
 package sim
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"time"
 
 	"coscale/internal/cache"
 	"coscale/internal/counters"
+	"coscale/internal/fault"
 	"coscale/internal/freq"
 	"coscale/internal/memsys"
 	"coscale/internal/perf"
@@ -53,6 +53,13 @@ type Config struct {
 	// (0 = threads stay pinned). Slack follows each software thread
 	// (§3.3); controllers see the mapping via Observation.ThreadIDs.
 	MigrateEvery int
+
+	// Faults, when non-nil, injects the given deterministic fault scenario
+	// at the substrate/controller boundary: counter readings handed to the
+	// policy are perturbed and DVFS decisions pass through a faulty
+	// actuation path. Ground truth (instructions, energy, wall time) is
+	// never perturbed. nil runs fault-free with zero overhead.
+	Faults *fault.Config
 
 	RecordTimeline bool // keep per-epoch records (Fig. 7)
 }
@@ -173,6 +180,7 @@ type Engine struct {
 	cfg    Config
 	solver *perf.Solver
 	llc    *cache.ShareModel
+	inj    *fault.Injector // nil when cfg.Faults is nil
 
 	profiles []*trace.AppProfile
 
@@ -209,17 +217,19 @@ type Engine struct {
 }
 
 // New constructs an engine; the configuration is validated and defaulted.
+// Validation errors match ErrInvalidConfig via errors.Is and carry the
+// offending field in a *ConfigError.
 func New(cfg Config) (*Engine, error) {
+	if err := cfg.validateRaw(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
-	if cfg.Mix.Cores() == 0 {
-		return nil, errors.New("sim: config requires a workload mix")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	profiles, err := cfg.Mix.Profiles()
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
-	}
-	if cfg.ProfileLen >= cfg.EpochLen {
-		return nil, errors.New("sim: profiling window must be shorter than the epoch")
 	}
 	n := cfg.Mix.Cores()
 	perm := make([]int, n)
@@ -267,7 +277,22 @@ func New(cfg Config) (*Engine, error) {
 		obs.ThreadIDs = make([]int, n)
 		obs.Cores = make([]policy.CoreObs, n)
 	}
+	if cfg.Faults != nil {
+		e.inj, err = fault.New(*cfg.Faults, n, cfg.Mem.Channels)
+		if err != nil {
+			return nil, &ConfigError{Field: "Faults", Reason: err.Error()}
+		}
+	}
 	return e, nil
+}
+
+// FaultStats returns the injected-event counts since the last Reset; the
+// zero value when the engine runs fault-free.
+func (e *Engine) FaultStats() fault.Stats {
+	if e.inj == nil {
+		return fault.Stats{}
+	}
+	return e.inj.Stats()
 }
 
 // Reset rewinds the engine to its initial state so the same configuration can
@@ -295,6 +320,9 @@ func (e *Engine) Reset() {
 	}
 	for i := range e.ctrs.Channels {
 		e.ctrs.Channels[i] = counters.Channel{}
+	}
+	if e.inj != nil {
+		e.inj.Reset()
 	}
 }
 
@@ -738,9 +766,16 @@ func (e *Engine) step(epoch int, oracle bool) {
 		if oracle {
 			e.oracleObservationInto(&e.obsDecide, st)
 		} else {
+			if e.inj != nil {
+				e.inj.PerturbCounters(fault.ProfileWindow, &e.delta)
+			}
 			e.observationInto(&e.obsDecide, &e.delta, profSecs)
 		}
 		d := cfg.Policy.Decide(e.obsDecide)
+		if e.inj != nil {
+			cs, ms := e.inj.Actuate(d.CoreSteps, d.MemStep, e.coreSteps, e.memStep)
+			d = policy.Decision{CoreSteps: cs, MemStep: ms}
+		}
 		dead = e.applyDecision(d, n)
 		if migrateDead > 0 {
 			if dead == nil {
@@ -756,6 +791,9 @@ func (e *Engine) step(epoch int, oracle bool) {
 	e.ctrs.SubInto(&e.delta, &e.snapEpoch)
 	epochWindow := e.wall - epochWallStart
 	if cfg.Policy != nil {
+		if e.inj != nil {
+			e.inj.PerturbCounters(fault.EpochWindow, &e.delta)
+		}
 		e.observationInto(&e.obsEpoch, &e.delta, epochWindow)
 		cfg.Policy.Observe(e.obsEpoch)
 	}

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"time"
 
 	"coscale/internal/core"
+	"coscale/internal/freq"
 	"coscale/internal/policy"
 	"coscale/internal/workload"
 )
@@ -18,6 +20,16 @@ func testConfig(t *testing.T, mixName string) Config {
 		Mix:         workload.MustGet(mixName),
 		InstrBudget: 40_000_000,
 	}
+}
+
+// must unwraps a constructor's (value, error) pair for test setup; a
+// non-nil error is a broken fixture, reported by panicking (Go forbids
+// f(t, g()) with a multi-valued g, so the helper cannot also take t).
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // run executes a config, failing the test on error.
@@ -90,7 +102,7 @@ func TestCoScaleMeetsBoundAndSavesEnergy(t *testing.T) {
 		base := run(t, testConfig(t, mix))
 
 		cfg := testConfig(t, mix)
-		cfg.Policy = core.New(cfg.PolicyConfig())
+		cfg.Policy = must(core.New(cfg.PolicyConfig()))
 		res := run(t, cfg)
 
 		deg := degradations(t, base, res)
@@ -115,7 +127,7 @@ func TestUncoordinatedViolatesBound(t *testing.T) {
 	for _, mix := range []string{"MID1", "MEM1", "MIX2"} {
 		base := run(t, testConfig(t, mix))
 		cfg := testConfig(t, mix)
-		cfg.Policy = policy.NewUncoordinated(cfg.PolicyConfig())
+		cfg.Policy = must(policy.NewUncoordinated(cfg.PolicyConfig()))
 		res := run(t, cfg)
 		w := maxOf(degradations(t, base, res))
 		t.Logf("%s: Uncoordinated worst degradation %.1f%%", mix, w*100)
@@ -134,7 +146,7 @@ func TestSemiCoordinatedMeetsBoundButSavesLessThanCoScale(t *testing.T) {
 		base := run(t, testConfig(t, mix))
 
 		cfg := testConfig(t, mix)
-		cfg.Policy = policy.NewSemiCoordinated(cfg.PolicyConfig())
+		cfg.Policy = must(policy.NewSemiCoordinated(cfg.PolicyConfig()))
 		semi := run(t, cfg)
 		w := maxOf(degradations(t, base, semi))
 		if w > 0.10+0.015 {
@@ -142,7 +154,7 @@ func TestSemiCoordinatedMeetsBoundButSavesLessThanCoScale(t *testing.T) {
 		}
 
 		cfg2 := testConfig(t, mix)
-		cfg2.Policy = core.New(cfg2.PolicyConfig())
+		cfg2.Policy = must(core.New(cfg2.PolicyConfig()))
 		co := run(t, cfg2)
 
 		semiSave := 1 - semi.Energy.Total()/base.Energy.Total()
@@ -161,14 +173,14 @@ func TestOfflineAtLeastMatchesCoScale(t *testing.T) {
 	for _, mix := range []string{"MID1", "MIX2"} {
 		base := run(t, testConfig(t, mix))
 		cfg := testConfig(t, mix)
-		cfg.Policy = policy.NewOffline(cfg.PolicyConfig())
+		cfg.Policy = must(policy.NewOffline(cfg.PolicyConfig()))
 		off := run(t, cfg)
 		w := maxOf(degradations(t, base, off))
 		if w > 0.10+0.015 {
 			t.Errorf("%s: Offline violated bound: %.1f%%", mix, w*100)
 		}
 		cfg2 := testConfig(t, mix)
-		cfg2.Policy = core.New(cfg2.PolicyConfig())
+		cfg2.Policy = must(core.New(cfg2.PolicyConfig()))
 		co := run(t, cfg2)
 		offTotal += 1 - off.Energy.Total()/base.Energy.Total()
 		coTotal += 1 - co.Energy.Total()/base.Energy.Total()
@@ -185,13 +197,13 @@ func TestSingleKnobPoliciesSaveLessSystemEnergy(t *testing.T) {
 	base := run(t, testConfig(t, mix))
 
 	results := map[string]float64{}
-	for name, mk := range map[string]func(policy.Config) policy.Policy{
-		"MemScale": func(c policy.Config) policy.Policy { return policy.NewMemScale(c) },
-		"CPUOnly":  func(c policy.Config) policy.Policy { return policy.NewCPUOnly(c) },
-		"CoScale":  func(c policy.Config) policy.Policy { return core.New(c) },
+	for name, mk := range map[string]func(policy.Config) (policy.Policy, error){
+		"MemScale": func(c policy.Config) (policy.Policy, error) { return policy.NewMemScale(c) },
+		"CPUOnly":  func(c policy.Config) (policy.Policy, error) { return policy.NewCPUOnly(c) },
+		"CoScale":  func(c policy.Config) (policy.Policy, error) { return core.New(c) },
 	} {
 		cfg := testConfig(t, mix)
-		cfg.Policy = mk(cfg.PolicyConfig())
+		cfg.Policy = must(mk(cfg.PolicyConfig()))
 		res := run(t, cfg)
 		if w := maxOf(degradations(t, base, res)); w > 0.10+0.015 {
 			t.Errorf("%s violated bound: %.1f%%", name, w*100)
@@ -207,7 +219,7 @@ func TestSingleKnobPoliciesSaveLessSystemEnergy(t *testing.T) {
 
 func TestTimelineRecording(t *testing.T) {
 	cfg := testConfig(t, "MIX2")
-	cfg.Policy = core.New(cfg.PolicyConfig())
+	cfg.Policy = must(core.New(cfg.PolicyConfig()))
 	cfg.RecordTimeline = true
 	res := run(t, cfg)
 	if len(res.Timeline) != res.Epochs {
@@ -221,20 +233,52 @@ func TestTimelineRecording(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := New(Config{}); err == nil {
-		t.Error("New with no mix succeeded")
+	cases := []struct {
+		name   string
+		field  string
+		mutate func(*Config)
+	}{
+		{"no mix", "Mix", func(c *Config) { c.Mix = workload.Mix{} }},
+		{"profile >= epoch", "ProfileLen", func(c *Config) { c.ProfileLen = 10 * time.Millisecond }},
+		{"negative profile", "ProfileLen", func(c *Config) { c.ProfileLen = -time.Microsecond }},
+		{"gamma > 1", "Gamma", func(c *Config) { c.Gamma = 1.5 }},
+		{"gamma < 0", "Gamma", func(c *Config) { c.Gamma = -0.1 }},
+		{"negative substeps", "SubSteps", func(c *Config) { c.SubSteps = -1 }},
+		{"negative max epochs", "MaxEpochs", func(c *Config) { c.MaxEpochs = -1 }},
+		{"negative migrate", "MigrateEvery", func(c *Config) { c.MigrateEvery = -2 }},
+		{"degenerate ladder", "CoreLadder", func(c *Config) {
+			// min == max with several steps yields duplicate frequencies.
+			l, err := freq.NewLadder(2e9, 2e9, 1.0, 1.0, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.CoreLadder = l
+		}},
 	}
-	bad := testConfig(t, "ILP1")
-	bad.ProfileLen = 10 * time.Millisecond // longer than epoch
-	if _, err := New(bad); err == nil {
-		t.Error("New with profile >= epoch succeeded")
+	for _, tc := range cases {
+		cfg := testConfig(t, "ILP1")
+		tc.mutate(&cfg)
+		_, err := New(cfg)
+		if err == nil {
+			t.Errorf("%s: New succeeded", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: error %v does not match ErrInvalidConfig", tc.name, err)
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a *ConfigError", tc.name, err)
+		} else if ce.Field != tc.field {
+			t.Errorf("%s: error on field %s, want %s (%v)", tc.name, ce.Field, tc.field, err)
+		}
 	}
 }
 
 func TestDeterminism(t *testing.T) {
 	mk := func() *Result {
 		cfg := testConfig(t, "MID2")
-		cfg.Policy = core.New(cfg.PolicyConfig())
+		cfg.Policy = must(core.New(cfg.PolicyConfig()))
 		return run(t, cfg)
 	}
 	a, b := mk(), mk()

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"coscale/internal/core"
+	"coscale/internal/fault"
+	"coscale/internal/workload"
+)
+
+// faultScenario is a scenario exercising every injection mechanism at once.
+func faultScenario() *fault.Config {
+	return &fault.Config{
+		Seed: 0xC05CA1E,
+		Counters: fault.CounterFaults{
+			Noise:     0.05,
+			Bias:      0.02,
+			StaleProb: 0.1,
+			DropProb:  0.02,
+		},
+		Actuation: fault.ActuationFaults{
+			DropProb:           0.1,
+			LagEpochs:          2,
+			StuckProb:          0.02,
+			StuckEpochs:        3,
+			ThermalProb:        0.01,
+			ThermalEpochs:      5,
+			ThermalMinCoreStep: 4,
+		},
+		PowerBias: 0.05,
+	}
+}
+
+// resultsEqual compares two results bit-for-bit (float equality here is
+// exact-representation equality, which is the point).
+func resultsEqual(a, b *Result) bool {
+	return a.Epochs == b.Epochs &&
+		a.WallTime == b.WallTime &&
+		a.Energy == b.Energy &&
+		a.TotalInstructions == b.TotalInstructions &&
+		reflect.DeepEqual(a.Apps, b.Apps)
+}
+
+// TestFaultDeterminism: identical fault seed + scenario → bit-identical
+// Result across independent runs and after Engine.Reset.
+func TestFaultDeterminism(t *testing.T) {
+	mk := func() (*Engine, *Result) {
+		cfg := testConfig(t, "MID1")
+		cfg.Faults = faultScenario()
+		cfg.Policy = must(core.New(cfg.PolicyConfig()))
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng, res
+	}
+	eng, first := mk()
+	_, second := mk()
+	if !resultsEqual(first, second) {
+		t.Errorf("independent runs with the same fault seed differ:\n%+v\n%+v", first, second)
+	}
+	st := eng.FaultStats()
+	if st == (fault.Stats{}) {
+		t.Error("scenario injected no events at all")
+	}
+
+	// Replay on the same engine: Reset + a fresh policy must replay the
+	// identical fault sequence.
+	cfg := testConfig(t, "MID1")
+	cfg.Faults = faultScenario()
+	eng.Reset()
+	eng.SetPolicy(must(core.New(cfg.PolicyConfig())))
+	third, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(first, third) {
+		t.Errorf("rerun after Reset differs:\n%+v\n%+v", first, third)
+	}
+	if eng.FaultStats() != st {
+		t.Errorf("fault stats differ after Reset replay: %+v vs %+v", eng.FaultStats(), st)
+	}
+}
+
+// TestZeroFaultConfigMatchesNil: a non-nil scenario that injects nothing must
+// be bit-identical to running without any injector (the golden-compatible
+// path), regardless of seed.
+func TestZeroFaultConfigMatchesNil(t *testing.T) {
+	mk := func(f *fault.Config) *Result {
+		cfg := testConfig(t, "MID2")
+		cfg.Faults = f
+		cfg.Policy = must(core.New(cfg.PolicyConfig()))
+		return run(t, cfg)
+	}
+	base := mk(nil)
+	zero := mk(&fault.Config{Seed: 987654321})
+	if !resultsEqual(base, zero) {
+		t.Errorf("zero-value fault config perturbed the run:\n%+v\n%+v", base, zero)
+	}
+}
+
+// TestFaultConfigValidatedByNew: a bad scenario is rejected as a typed sim
+// configuration error.
+func TestFaultConfigValidatedByNew(t *testing.T) {
+	cfg := testConfig(t, "ILP1")
+	cfg.Faults = &fault.Config{Counters: fault.CounterFaults{Noise: 2}}
+	_, err := New(cfg)
+	if err == nil {
+		t.Fatal("New accepted an invalid fault scenario")
+	}
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("error %v does not match ErrInvalidConfig", err)
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "Faults" {
+		t.Errorf("error %v is not a *ConfigError on Faults", err)
+	}
+}
+
+// TestStepZeroAllocWithFaults extends the alloc-budget gate to the injected
+// configuration: the fault hooks must stay allocation-free too.
+func TestStepZeroAllocWithFaults(t *testing.T) {
+	cfg := Config{Mix: workload.MustGet("MID1"), InstrBudget: 1 << 50}
+	cfg.Faults = faultScenario()
+	cfg.Policy = must(core.New(cfg.PolicyConfig()))
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := 0
+	step := func() { eng.step(epoch, false); epoch++ }
+	for i := 0; i < 4; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(50, step); avg != 0 {
+		t.Errorf("step with fault injection allocates %.1f times per epoch, want 0", avg)
+	}
+}

@@ -75,10 +75,11 @@ var goldenRuns = []goldenRun{
 	},
 }
 
-func goldenConfig(g goldenRun) Config {
+func goldenConfig(t *testing.T, g goldenRun) Config {
+	t.Helper()
 	cfg := Config{Mix: workload.MustGet(g.mix), InstrBudget: 16_000_000}
 	if g.coscale {
-		cfg.Policy = core.New(cfg.PolicyConfig())
+		cfg.Policy = must(core.New(cfg.PolicyConfig()))
 	}
 	return cfg
 }
@@ -124,7 +125,7 @@ func TestGoldenBitIdentical(t *testing.T) {
 			name = g.mix + "/CoScale"
 		}
 		t.Run(name, func(t *testing.T) {
-			eng, err := New(goldenConfig(g))
+			eng, err := New(goldenConfig(t, g))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -147,7 +148,7 @@ func TestGoldenBitIdenticalAfterReset(t *testing.T) {
 			name = g.mix + "/CoScale"
 		}
 		t.Run(name, func(t *testing.T) {
-			cfg := goldenConfig(g)
+			cfg := goldenConfig(t, g)
 			eng, err := New(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -157,7 +158,7 @@ func TestGoldenBitIdenticalAfterReset(t *testing.T) {
 			}
 			eng.Reset()
 			if g.coscale {
-				eng.SetPolicy(core.New(cfg.PolicyConfig()))
+				eng.SetPolicy(must(core.New(cfg.PolicyConfig())))
 			}
 			res, err := eng.Run()
 			if err != nil {

@@ -15,7 +15,7 @@ func TestMigrationKeepsBoundPerThread(t *testing.T) {
 	base := run(t, baseCfg)
 
 	cfg := Config{Mix: workload.MustGet("MID1"), InstrBudget: 40_000_000, MigrateEvery: 2}
-	cfg.Policy = core.New(cfg.PolicyConfig())
+	cfg.Policy = must(core.New(cfg.PolicyConfig()))
 	res := run(t, cfg)
 
 	worst := maxOf(degradations(t, base, res))

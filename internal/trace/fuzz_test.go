@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzProfileValidate checks the contract between Validate and the sampling
+// accessors: any profile that Validate accepts must yield finite,
+// non-negative statistics from At and MPKIAt at every point of execution and
+// every cache share, including the degenerate share s = 0.
+func FuzzProfileValidate(f *testing.F) {
+	// Seed with a registered profile's parameters and a few hostile corners.
+	p := MustLookup("swim")
+	f.Add(p.CPIBase, p.L2APKI, p.MRC.A, p.MRC.K, p.MRC.Min, p.DirtyFrac,
+		p.Mix.ALU, p.Mix.FPU, p.Mix.Branch, p.Mix.LoadStore,
+		p.MLP, p.PrefetchCoverage, p.PrefetchAccuracy, p.RowLocality,
+		0.5, 1.5, 0.8)
+	f.Add(1.0, 0.0, 0.0, 200.0, 0.0, 0.0, 0.25, 0.25, 0.25, 0.25,
+		1.0, 0.0, 0.0, 0.0, 0.3, 0.0, 1.0)
+	f.Add(math.NaN(), math.Inf(1), -1.0, math.NaN(), 1e308, 2.0,
+		-0.5, 1.5, math.NaN(), 0.0, 0.5, -1.0, 2.0, math.Inf(-1),
+		math.NaN(), math.Inf(1), math.NaN())
+	f.Fuzz(func(t *testing.T, cpi, l2apki, mrcA, mrcK, mrcMin, dirty,
+		alu, fpu, branch, loadStore, mlp, pcov, pacc, rowLoc,
+		until, memMult, cpiMult float64) {
+		prof := &AppProfile{
+			Name:             "fuzz",
+			CPIBase:          cpi,
+			L2APKI:           l2apki,
+			MRC:              MRC{A: mrcA, K: mrcK, Min: mrcMin},
+			DirtyFrac:        dirty,
+			Mix:              InstrMix{ALU: alu, FPU: fpu, Branch: branch, LoadStore: loadStore},
+			MLP:              mlp,
+			PrefetchCoverage: pcov,
+			PrefetchAccuracy: pacc,
+			RowLocality:      rowLoc,
+		}
+		if until > 0 && until < 1 {
+			prof.Phases = []Phase{
+				{Until: until, MemMult: memMult, CPIMult: cpiMult},
+				{Until: 1, MemMult: 1, CPIMult: 1},
+			}
+		}
+		if prof.Validate() != nil {
+			return
+		}
+		for _, frac := range []float64{0, 0.3, 0.99, 1} {
+			st := prof.At(frac)
+			for _, v := range []float64{st.CPIBase, st.L2APKI, st.MemMult, st.DirtyFrac, st.MLP} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("At(%v) produced invalid stat %v from validated profile", frac, v)
+				}
+			}
+			if st.CPIBase <= 0 {
+				t.Fatalf("At(%v) produced non-positive CPIBase %v", frac, st.CPIBase)
+			}
+			for _, s := range []float64{0, 0.5, 4, 64} {
+				m := prof.MPKIAt(frac, s)
+				if math.IsNaN(m) || math.IsInf(m, 0) || m < 0 {
+					t.Fatalf("MPKIAt(%v, %v) = %v from validated profile", frac, s, m)
+				}
+			}
+		}
+	})
+}
+
+// FuzzLookup checks that registry lookups never panic and that every
+// successful lookup returns a profile that carries the requested name and
+// passes its own validation.
+func FuzzLookup(f *testing.F) {
+	for _, n := range Names() {
+		f.Add(n)
+	}
+	f.Add("")
+	f.Add("swim\x00")
+	f.Fuzz(func(t *testing.T, name string) {
+		p, err := Lookup(name)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("Lookup(%q) returned both a profile and an error", name)
+			}
+			return
+		}
+		if p.Name != name {
+			t.Fatalf("Lookup(%q) returned profile named %q", name, p.Name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("registered profile %q fails validation: %v", name, err)
+		}
+	})
+}

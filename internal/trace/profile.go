@@ -70,8 +70,10 @@ func (m MRC) MPKI(s, maxAPKI float64) float64 {
 	if s <= 0 {
 		return maxAPKI
 	}
+	// Skip the power law when A is zero: the curve is identically zero,
+	// and 0 × Pow(s, -K) would be 0 × +Inf = NaN for steep K and small s.
 	v := m.A
-	if !approx.Zero(m.K, 0) {
+	if !approx.Zero(m.K, 0) && v > 0 {
 		v = m.A * math.Pow(s, -m.K)
 	}
 	if v < m.Min {
@@ -193,11 +195,36 @@ func (p *AppProfile) Validate() error {
 	if p.Name == "" {
 		return fmt.Errorf("trace: profile with empty name")
 	}
+	// Reject non-finite parameters up front: NaN slips through every
+	// ordered comparison below (NaN <= 0, NaN < 1, ... are all false), so
+	// without this check a NaN-poisoned profile would validate and then
+	// spread through the whole performance model. The magnitude cap bounds
+	// the rates and multipliers far above any physical value while keeping
+	// their products (e.g. L2APKI x phase MemMult) safely finite.
+	const maxParam = 1e6
+	for _, v := range []float64{
+		p.CPIBase, p.L2APKI, p.MRC.A, p.MRC.K, p.MRC.Min, p.DirtyFrac,
+		p.Mix.ALU, p.Mix.FPU, p.Mix.Branch, p.Mix.LoadStore,
+		p.MLP, p.PrefetchCoverage, p.PrefetchAccuracy, p.RowLocality,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("trace: %s: non-finite profile parameter", p.Name)
+		}
+		if v > maxParam {
+			return fmt.Errorf("trace: %s: profile parameter %g implausibly large", p.Name, v)
+		}
+	}
 	if p.CPIBase <= 0 {
 		return fmt.Errorf("trace: %s: CPIBase must be positive", p.Name)
 	}
 	if p.L2APKI < 0 || p.MRC.A < 0 || p.MRC.Min < 0 {
 		return fmt.Errorf("trace: %s: negative rate", p.Name)
+	}
+	if p.MRC.K < 0 {
+		return fmt.Errorf("trace: %s: MRC steepness %.3f < 0 (miss rate cannot grow with cache share)", p.Name, p.MRC.K)
+	}
+	if p.Mix.ALU < 0 || p.Mix.FPU < 0 || p.Mix.Branch < 0 || p.Mix.LoadStore < 0 {
+		return fmt.Errorf("trace: %s: negative instruction-mix fraction", p.Name)
 	}
 	if p.MRC.A > p.L2APKI*1.001 && approx.Zero(p.MRC.K, 0) {
 		return fmt.Errorf("trace: %s: constant MPKI %.3f exceeds L2APKI %.3f", p.Name, p.MRC.A, p.L2APKI)
@@ -219,6 +246,13 @@ func (p *AppProfile) Validate() error {
 	}
 	prev := 0.0
 	for i, ph := range p.Phases {
+		if math.IsNaN(ph.Until) || math.IsNaN(ph.MemMult) || math.IsInf(ph.MemMult, 0) ||
+			math.IsNaN(ph.CPIMult) || math.IsInf(ph.CPIMult, 0) {
+			return fmt.Errorf("trace: %s: phase %d has a non-finite parameter", p.Name, i)
+		}
+		if ph.MemMult > maxParam || ph.CPIMult > maxParam {
+			return fmt.Errorf("trace: %s: phase %d multiplier implausibly large", p.Name, i)
+		}
 		if ph.Until <= prev || ph.Until > 1.0001 {
 			return fmt.Errorf("trace: %s: phase %d boundary %.3f not increasing in (0,1]", p.Name, i, ph.Until)
 		}
