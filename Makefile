@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint test test-race bench bench-smoke bench-json fmt fuzz-smoke fault-smoke
+.PHONY: check build vet fmt-check lint test test-race bench bench-smoke bench-json fmt fuzz-smoke fault-smoke serve-smoke
 
 ## check: the full gate — tier-1 verify + vet + gofmt + coscale-lint
 check: build vet fmt-check lint test
@@ -47,6 +47,14 @@ fuzz-smoke:
 fault-smoke:
 	$(GO) test -race ./internal/fault
 	$(GO) test -race -run 'Fault|Hardened|ErrorTolerance' ./internal/sim ./internal/policy ./internal/experiments
+
+## serve-smoke: the serving-layer acceptance suite under the race detector —
+## golden bit-identity vs the experiments runner, queue overflow → 429,
+## mid-stream cancellation freeing the worker slot, cache hits in /metrics,
+## and a real boot/SIGTERM drain of cmd/coscale-serve (mirrors CI's
+## serve-smoke job)
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/server ./internal/cache ./internal/buildinfo ./cmd/coscale-serve
 
 vet:
 	$(GO) vet ./...

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"coscale"
+	"coscale/internal/buildinfo"
 	"coscale/internal/core"
 	"coscale/internal/experiments"
 )
@@ -61,9 +62,15 @@ func main() {
 		benchtime    = flag.Duration("benchtime", time.Second, "minimum measurement time per benchmark")
 		epochBudget  = flag.Uint64("epoch-budget", 50_000_000, "instructions per app for the epoch-simulation benchmark")
 		figureBudget = flag.Uint64("figure-budget", 10_000_000, "instructions per app for the timed figure regeneration")
+		version      = flag.Bool("version", false, "print the version and exit")
 	)
 	testing.Init() // registers -test.* flags so benchtime can be set below
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("coscale-bench"))
+		return
+	}
 	// testing.Benchmark respects the -test.benchtime flag value.
 	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
 		log.Fatal(err)

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"coscale/internal/buildinfo"
 	"coscale/internal/dram"
 	"coscale/internal/freq"
 	"coscale/internal/trace"
@@ -25,11 +26,17 @@ func main() {
 	log.SetPrefix("coscale-dram: ")
 
 	var (
-		policy = flag.String("policy", "closed", "row-buffer policy: closed or open")
-		cycles = flag.Int("cycles", 100_000, "measurement window in bus cycles")
-		local  = flag.Float64("locality", 0.0, "fraction of sequential (same-row) accesses")
+		policy  = flag.String("policy", "closed", "row-buffer policy: closed or open")
+		cycles  = flag.Int("cycles", 100_000, "measurement window in bus cycles")
+		local   = flag.Float64("locality", 0.0, "fraction of sequential (same-row) accesses")
+		version = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("coscale-dram"))
+		return
+	}
 
 	var rp dram.RowPolicy
 	switch *policy {

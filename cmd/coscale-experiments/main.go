@@ -11,12 +11,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"coscale/internal/buildinfo"
 	"coscale/internal/experiments"
 )
 
@@ -27,10 +32,23 @@ func main() {
 	var (
 		expList = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
 		budget  = flag.Uint64("budget", 100_000_000, "instructions per application")
+		version = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Version("coscale-experiments"))
+		return
+	}
+
+	// SIGINT/SIGTERM cancel the runner's base context: in-flight simulations
+	// unwind within one epoch and the current experiment returns a
+	// cancellation error, which is reported as a partial-results exit below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	r := experiments.NewRunner(*budget)
+	r.Ctx = ctx
 	wanted := map[string]bool{}
 	for _, e := range strings.Split(*expList, ",") {
 		wanted[strings.TrimSpace(e)] = true
@@ -38,6 +56,9 @@ func main() {
 	all := wanted["all"]
 	want := func(name string) bool { return all || wanted[name] }
 	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			log.Print("interrupted: results printed so far are partial; rerun to regenerate the remaining experiments")
+		}
 		log.Print(err)
 		os.Exit(1)
 	}

@@ -14,11 +14,19 @@
 package main
 
 import (
+	"fmt"
 	"os"
 
+	"coscale/internal/buildinfo"
 	"coscale/internal/lint"
 )
 
 func main() {
+	// lint.Main owns the real flag parsing; -version is intercepted here so
+	// every coscale binary answers it uniformly.
+	if len(os.Args) > 1 && (os.Args[1] == "-version" || os.Args[1] == "--version") {
+		fmt.Println(buildinfo.Version("coscale-lint"))
+		return
+	}
 	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,105 @@
+// Command coscale-serve exposes the simulation stack as a long-running
+// HTTP/JSON service: a bounded worker pool executes simulate and sweep jobs
+// from an admission-controlled queue, results are cached by canonical
+// request hash, and per-epoch progress streams as NDJSON. Results are
+// bit-identical to the CLIs. See DESIGN.md §9.
+//
+// Usage:
+//
+//	coscale-serve -addr :8080
+//	curl -s localhost:8080/v1/simulate?wait=1 -d '{"workload":"MEM1"}'
+//
+// Endpoints: POST /v1/simulate, POST /v1/sweep, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/stream (NDJSON), DELETE /v1/jobs/{id}, GET /healthz,
+// GET /metrics.
+//
+// SIGINT/SIGTERM drain gracefully: new submissions are refused with 503,
+// in-flight jobs get -drain-timeout to finish, then stragglers are
+// cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"coscale/internal/buildinfo"
+	"coscale/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coscale-serve: ")
+
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 0, "admitted-but-not-started job bound (0 = 64)")
+		cacheSize    = flag.Int("cache", 0, "result cache entries (0 = 256)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		version      = flag.Bool("version", false, "print the version and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("coscale-serve"))
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := log.New(os.Stderr, "coscale-serve: ", 0)
+	if err := run(ln, logger, *workers, *queueDepth, *cacheSize, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run serves on ln until SIGINT/SIGTERM, then drains. It owns closing ln.
+func run(ln net.Listener, logger *log.Logger, workers, queueDepth, cacheSize int, drainTimeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s := server.New(server.Config{
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		CacheSize:  cacheSize,
+		Logger:     logger,
+	})
+	httpSrv := &http.Server{Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", ln.Addr())
+		errc <- httpSrv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		return err // listener failure; nothing to drain
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received; draining (timeout %s)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain first so jobs finish (or are cancelled at the deadline), then
+	// close the listener and let straggling responses flush.
+	drainErr := s.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if drainErr != nil {
+		logger.Printf("drain deadline hit; in-flight jobs were cancelled")
+	}
+	logger.Printf("bye")
+	return nil
+}

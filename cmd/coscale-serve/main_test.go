@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestBootServeDrain boots the daemon on an ephemeral port, round-trips a
+// simulate request, then delivers SIGTERM and verifies a clean drain.
+func TestBootServeDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	logger := log.New(io.Discard, "", 0)
+
+	done := make(chan error, 1)
+	go func() { done <- run(ln, logger, 2, 8, 8, 10*time.Second) }()
+
+	// Wait for the listener to answer.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/v1/simulate?wait=1", "application/json",
+		bytes.NewReader([]byte(`{"workload":"MEM1","instructions":2000000}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"state":"done"`) {
+		t.Fatalf("simulate response not done: %s", body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain did not complete within 30s of SIGTERM")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"coscale"
+	"coscale/internal/buildinfo"
 )
 
 func main() {
@@ -30,8 +31,14 @@ func main() {
 		ooo          = flag.Bool("ooo", false, "emulate the 128-instruction OoO window")
 		timeline     = flag.Bool("timeline", false, "print the per-epoch frequency timeline")
 		list         = flag.Bool("list", false, "list workloads and exit")
+		version      = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("coscale-sim"))
+		return
+	}
 
 	if *list {
 		for _, w := range coscale.Workloads() {

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"coscale"
+	"coscale/internal/buildinfo"
 )
 
 func main() {
@@ -26,8 +27,14 @@ func main() {
 		policies     = flag.String("policies", "CoScale,Uncoordinated,Semi-coordinated", "comma-separated policy names")
 		budget       = flag.Uint64("instructions", 100_000_000, "instructions per application")
 		core         = flag.Int("core", 0, "core whose frequency to report (0 = first copy of the first app)")
+		version      = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Version("coscale-trace"))
+		return
+	}
 
 	for _, pol := range strings.Split(*policies, ",") {
 		pol = strings.TrimSpace(pol)

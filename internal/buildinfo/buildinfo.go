@@ -1,0 +1,56 @@
+// Package buildinfo renders the version banner shared by every coscale
+// binary's -version flag, from the build metadata the Go toolchain embeds
+// (runtime/debug.ReadBuildInfo): module version when built as a versioned
+// dependency, VCS revision and dirty flag when built from a checkout.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Version returns a one-line "name version (go, os/arch)" banner for the
+// named binary.
+func Version(name string) string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		bi = nil
+	}
+	return render(name, bi)
+}
+
+// render is Version against explicit build info, separated for tests.
+func render(name string, bi *debug.BuildInfo) string {
+	version := "unknown"
+	var details []string
+	if bi != nil {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			version = v
+		}
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if version == "unknown" {
+				version = rev + dirty
+			} else {
+				details = append(details, rev+dirty)
+			}
+		}
+	}
+	details = append(details, runtime.Version(), runtime.GOOS+"/"+runtime.GOARCH)
+	return fmt.Sprintf("%s %s (%s)", name, version, strings.Join(details, ", "))
+}

@@ -1,0 +1,43 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestVersionAlwaysRenders(t *testing.T) {
+	v := Version("coscale-test")
+	if !strings.HasPrefix(v, "coscale-test ") {
+		t.Fatalf("banner %q lacks binary name prefix", v)
+	}
+	if !strings.Contains(v, "go1") {
+		t.Fatalf("banner %q lacks Go version", v)
+	}
+}
+
+func TestRender(t *testing.T) {
+	cases := []struct {
+		name string
+		bi   *debug.BuildInfo
+		want string // substring after the binary name
+	}{
+		{"nil info", nil, "unknown"},
+		{"module version", &debug.BuildInfo{Main: debug.Module{Version: "v1.2.3"}}, "v1.2.3"},
+		{"devel no vcs", &debug.BuildInfo{Main: debug.Module{Version: "(devel)"}}, "unknown"},
+		{
+			"vcs revision",
+			&debug.BuildInfo{Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				{Key: "vcs.modified", Value: "true"},
+			}},
+			"0123456789ab-dirty",
+		},
+	}
+	for _, c := range cases {
+		got := render("bin", c.bi)
+		if !strings.Contains(got, c.want) {
+			t.Errorf("%s: render = %q, want substring %q", c.name, got, c.want)
+		}
+	}
+}

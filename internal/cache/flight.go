@@ -1,0 +1,56 @@
+package cache
+
+import "sync"
+
+// Flight memoizes function results per key with singleflight deduplication:
+// the first caller to claim a key runs fn while concurrent and later callers
+// block on (and share) the same result. Results — including errors — are
+// retained until Forget, which suits deterministic simulations: a retry
+// would produce the same bits, so there is no reason to recompute.
+//
+// This generalizes the experiments runner's baseline/outcome caches (PR 2)
+// so the serving layer can reuse the same discipline keyed by request hash.
+type Flight[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the memoized result for key, invoking fn at most once per key
+// (until Forget). Concurrent callers with the same key block until the
+// executing call finishes and then share its result.
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = map[K]*flightCall[V]{}
+	}
+	c, ok := f.calls[key]
+	if !ok {
+		c = &flightCall[V]{}
+		f.calls[key] = c
+	}
+	f.mu.Unlock()
+	c.once.Do(func() { c.val, c.err = fn() })
+	return c.val, c.err
+}
+
+// Forget drops the memoized slot for key so the next Do runs fn again.
+// Callers already blocked on the slot still receive its result; use this to
+// avoid caching non-deterministic failures such as context cancellation.
+func (f *Flight[K, V]) Forget(key K) {
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+}
+
+// Len returns the number of memoized (or in-flight) keys.
+func (f *Flight[K, V]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

@@ -1,0 +1,126 @@
+package cache
+
+import "sync"
+
+// LRU is a fixed-capacity least-recently-used cache, safe for concurrent
+// use. It is the serving layer's result cache (DESIGN.md §9): keys are
+// canonicalized request hashes, values completed responses. A capacity of
+// zero or less disables eviction (the cache grows without bound, which is
+// what the experiments runner wants for its per-process memoization).
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[K]*lruEntry[K, V]
+	// head is the most recently used entry, tail the least. Both are nil
+	// when the cache is empty.
+	head, tail   *lruEntry[K, V]
+	hits, misses uint64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *lruEntry[K, V]
+}
+
+// NewLRU returns an LRU holding at most capacity entries (<= 0 = unbounded).
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	return &LRU[K, V]{capacity: capacity, entries: map[K]*lruEntry[K, V]{}}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (l *LRU[K, V]) Get(key K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[key]
+	if !ok {
+		l.misses++
+		var zero V
+		return zero, false
+	}
+	l.hits++
+	l.moveToFront(e)
+	return e.val, true
+}
+
+// Add inserts (or refreshes) key, evicting the least recently used entry
+// when over capacity.
+func (l *LRU[K, V]) Add(key K, val V) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.entries[key]; ok {
+		e.val = val
+		l.moveToFront(e)
+		return
+	}
+	e := &lruEntry[K, V]{key: key, val: val}
+	l.entries[key] = e
+	l.pushFront(e)
+	if l.capacity > 0 && len(l.entries) > l.capacity {
+		l.evict(l.tail)
+	}
+}
+
+// Remove drops key if present.
+func (l *LRU[K, V]) Remove(key K) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.entries[key]; ok {
+		l.evict(e)
+	}
+}
+
+// Len returns the current number of entries.
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Stats returns the cumulative hit and miss counts of Get.
+func (l *LRU[K, V]) Stats() (hits, misses uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.hits, l.misses
+}
+
+// moveToFront, pushFront and evict maintain the recency list; all require
+// l.mu to be held.
+func (l *LRU[K, V]) moveToFront(e *lruEntry[K, V]) {
+	if l.head == e {
+		return
+	}
+	l.unlink(e)
+	l.pushFront(e)
+}
+
+func (l *LRU[K, V]) pushFront(e *lruEntry[K, V]) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *LRU[K, V]) unlink(e *lruEntry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (l *LRU[K, V]) evict(e *lruEntry[K, V]) {
+	l.unlink(e)
+	delete(l.entries, e.key)
+}

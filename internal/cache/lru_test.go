@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU[string, int](2)
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	l.Add("a", 1)
+	l.Add("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "b" is now least recently used; adding "c" must evict it.
+	l.Add("c", 3)
+	if _, ok := l.Get("b"); ok {
+		t.Error("b survived eviction at capacity")
+	}
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Errorf("a evicted out of LRU order (got %v, %v)", v, ok)
+	}
+	if v, ok := l.Get("c"); !ok || v != 3 {
+		t.Errorf("Get(c) = %v, %v", v, ok)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+	hits, misses := l.Stats()
+	if hits != 3 || misses != 2 {
+		t.Errorf("Stats = %d hits, %d misses; want 3, 2", hits, misses)
+	}
+}
+
+func TestLRURefreshAndRemove(t *testing.T) {
+	l := NewLRU[string, int](2)
+	l.Add("a", 1)
+	l.Add("a", 10) // refresh must not duplicate
+	if l.Len() != 1 {
+		t.Fatalf("Len after refresh = %d, want 1", l.Len())
+	}
+	if v, _ := l.Get("a"); v != 10 {
+		t.Errorf("refreshed value = %d, want 10", v)
+	}
+	l.Remove("a")
+	if _, ok := l.Get("a"); ok {
+		t.Error("Get after Remove succeeded")
+	}
+	l.Remove("a") // removing a missing key is a no-op
+}
+
+func TestLRUUnbounded(t *testing.T) {
+	l := NewLRU[int, int](0)
+	for i := 0; i < 100; i++ {
+		l.Add(i, i)
+	}
+	if l.Len() != 100 {
+		t.Errorf("unbounded cache evicted: Len = %d, want 100", l.Len())
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	l := NewLRU[int, int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g*7 + i) % 32
+				l.Add(k, k)
+				if v, ok := l.Get(k); ok && v != k {
+					t.Errorf("Get(%d) = %d", k, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := l.Len(); n > 16 {
+		t.Errorf("cache exceeded capacity: %d", n)
+	}
+}
+
+func TestFlightDedup(t *testing.T) {
+	var f Flight[string, int]
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	vals := make([]int, 16)
+	for g := range vals {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := f.Do("k", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	for g, v := range vals {
+		if v != 42 {
+			t.Errorf("caller %d got %d", g, v)
+		}
+	}
+}
+
+func TestFlightErrorMemoizedUntilForget(t *testing.T) {
+	var f Flight[string, int]
+	boom := errors.New("boom")
+	calls := 0
+	fn := func() (int, error) { calls++; return 0, boom }
+	if _, err := f.Do("k", fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := f.Do("k", fn); !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("error not memoized: calls=%d err=%v", calls, err)
+	}
+	f.Forget("k")
+	if v, err := f.Do("k", func() (int, error) { return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("after Forget: %v, %v", v, err)
+	}
+	if f.Len() != 1 {
+		t.Errorf("Len = %d, want 1", f.Len())
+	}
+}

@@ -5,11 +5,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"coscale/internal/cache"
 	"coscale/internal/core"
 	"coscale/internal/policy"
 	"coscale/internal/sim"
@@ -87,29 +90,22 @@ type Runner struct {
 	InstrBudget uint64
 	// Parallel bounds concurrent simulation runs (default NumCPU).
 	Parallel int
+	// Ctx, when non-nil, is the base context every context-free call
+	// (Execute, the figure generators) derives from — the hook that lets
+	// cmd/coscale-experiments cancel a whole figure regeneration on SIGINT.
+	// Per-call contexts via ExecuteContext take precedence.
+	Ctx context.Context
 
-	mu        sync.Mutex
-	cache     map[string]*outcomeCall  // keyed mix/policy/keyExtra
-	baselines map[string]*baselineCall // keyed mix/keyExtra — shared across policies
+	// cache memoizes (mix, policy, keyExtra) outcomes and baselines
+	// memoizes the shared no-DVFS run per (mix, keyExtra), both with
+	// singleflight dedup (cache.Flight). Errors are memoized too —
+	// simulations are deterministic, so a retry would fail the same way —
+	// except context cancellations, which are forgotten so an interrupted
+	// key can be recomputed.
+	cache     cache.Flight[string, *Outcome]
+	baselines cache.Flight[string, *sim.Result]
 
 	baselineRuns atomic.Int64 // baseline simulations actually executed
-}
-
-// outcomeCall and baselineCall are singleflight slots: the first caller to
-// claim a key runs the simulation inside the Once while later callers (and
-// concurrent ones) block on it and share the same result pointer. Errors are
-// cached too — simulations are deterministic, so a retry would fail the same
-// way.
-type outcomeCall struct {
-	once sync.Once
-	out  *Outcome
-	err  error
-}
-
-type baselineCall struct {
-	once sync.Once
-	res  *sim.Result
-	err  error
 }
 
 // NewRunner returns a Runner with the given instruction budget (0 = paper
@@ -185,7 +181,30 @@ func (o *Outcome) WorstDegradation() float64 {
 // are deduplicated singleflight-style: one goroutine simulates, the rest
 // wait for its result.
 func (r *Runner) Execute(mixName string, pol PolicyName, mutate func(*sim.Config), keyExtra string) (*Outcome, error) {
-	return r.executeVsBase(mixName, pol, mutate, keyExtra, mutate, keyExtra)
+	return r.ExecuteContext(r.baseCtx(), mixName, pol, mutate, keyExtra)
+}
+
+// ExecuteContext is Execute with cancellation: the context is threaded down
+// into the engine's epoch loop, so a long simulation stops within one epoch
+// of ctx being done. A cancelled key is not memoized — the next caller
+// recomputes it — but concurrent callers already sharing the in-flight slot
+// receive the cancellation error.
+func (r *Runner) ExecuteContext(ctx context.Context, mixName string, pol PolicyName, mutate func(*sim.Config), keyExtra string) (*Outcome, error) {
+	return r.executeVsBase(ctx, mixName, pol, mutate, keyExtra, mutate, keyExtra)
+}
+
+// baseCtx resolves the context used by the context-free entry points.
+func (r *Runner) baseCtx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// isCancellation reports whether err stems from context cancellation or
+// timeout rather than a deterministic simulation failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // executeVsBase is Execute with an independently keyed baseline: the policy
@@ -194,33 +213,26 @@ func (r *Runner) Execute(mixName string, pol PolicyName, mutate func(*sim.Config
 // every fault scenario against the one fault-free baseline — the true
 // maximum-frequency performance — instead of simulating an identical
 // baseline per scenario.
-func (r *Runner) executeVsBase(mixName string, pol PolicyName, mutate func(*sim.Config), keyExtra string, baseMutate func(*sim.Config), baseKey string) (*Outcome, error) {
+func (r *Runner) executeVsBase(ctx context.Context, mixName string, pol PolicyName, mutate func(*sim.Config), keyExtra string, baseMutate func(*sim.Config), baseKey string) (*Outcome, error) {
 	key := mixName + "/" + string(pol) + "/" + keyExtra
-	r.mu.Lock()
-	if r.cache == nil {
-		r.cache = map[string]*outcomeCall{}
-	}
-	c, ok := r.cache[key]
-	if !ok {
-		c = &outcomeCall{}
-		r.cache[key] = c
-	}
-	r.mu.Unlock()
-	c.once.Do(func() {
-		c.out, c.err = r.execute(mixName, pol, mutate, baseMutate, baseKey)
+	out, err := r.cache.Do(key, func() (*Outcome, error) {
+		return r.execute(ctx, mixName, pol, mutate, baseMutate, baseKey)
 	})
-	return c.out, c.err
+	if err != nil && isCancellation(err) {
+		r.cache.Forget(key)
+	}
+	return out, err
 }
 
 // execute performs the (cache-miss) simulation work behind Execute.
-func (r *Runner) execute(mixName string, pol PolicyName, mutate, baseMutate func(*sim.Config), baseKey string) (*Outcome, error) {
-	base, err := r.baseline(mixName, baseMutate, baseKey)
+func (r *Runner) execute(ctx context.Context, mixName string, pol PolicyName, mutate, baseMutate func(*sim.Config), baseKey string) (*Outcome, error) {
+	base, err := r.baseline(ctx, mixName, baseMutate, baseKey)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: baseline %s: %w", mixName, err)
 	}
 	run := base
 	if pol != Baseline {
-		run, err = r.runOne(mixName, pol, mutate)
+		run, err = r.runOne(ctx, mixName, pol, mutate)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s on %s: %w", pol, mixName, err)
 		}
@@ -228,29 +240,30 @@ func (r *Runner) execute(mixName string, pol PolicyName, mutate, baseMutate func
 	return &Outcome{Base: base, Run: run}, nil
 }
 
-// baseline returns the shared no-DVFS run for (mixName, keyExtra), simulating
-// it at most once across all policies and goroutines.
-func (r *Runner) baseline(mixName string, mutate func(*sim.Config), keyExtra string) (*sim.Result, error) {
+// BaselineContext returns the shared no-DVFS run for (mixName, keyExtra),
+// simulating it at most once across all policies and goroutines. It is
+// exported for the serving layer (internal/server), which runs policy
+// simulations itself — to stream per-epoch records — but still shares one
+// baseline per workload configuration with every other request.
+func (r *Runner) BaselineContext(ctx context.Context, mixName string, mutate func(*sim.Config), keyExtra string) (*sim.Result, error) {
+	return r.baseline(ctx, mixName, mutate, keyExtra)
+}
+
+// baseline implements BaselineContext.
+func (r *Runner) baseline(ctx context.Context, mixName string, mutate func(*sim.Config), keyExtra string) (*sim.Result, error) {
 	key := mixName + "/" + keyExtra
-	r.mu.Lock()
-	if r.baselines == nil {
-		r.baselines = map[string]*baselineCall{}
-	}
-	b, ok := r.baselines[key]
-	if !ok {
-		b = &baselineCall{}
-		r.baselines[key] = b
-	}
-	r.mu.Unlock()
-	b.once.Do(func() {
+	res, err := r.baselines.Do(key, func() (*sim.Result, error) {
 		r.baselineRuns.Add(1)
-		b.res, b.err = r.runOne(mixName, Baseline, mutate)
+		return r.runOne(ctx, mixName, Baseline, mutate)
 	})
-	return b.res, b.err
+	if err != nil && isCancellation(err) {
+		r.baselines.Forget(key)
+	}
+	return res, err
 }
 
 // runOne simulates a single (mix, policy) configuration.
-func (r *Runner) runOne(mixName string, pol PolicyName, mutate func(*sim.Config)) (*sim.Result, error) {
+func (r *Runner) runOne(ctx context.Context, mixName string, pol PolicyName, mutate func(*sim.Config)) (*sim.Result, error) {
 	cfg := sim.Config{Mix: workload.MustGet(mixName), InstrBudget: r.InstrBudget}
 	if mutate != nil {
 		mutate(&cfg)
@@ -264,7 +277,7 @@ func (r *Runner) runOne(mixName string, pol PolicyName, mutate func(*sim.Config)
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run()
+	return eng.RunContext(ctx)
 }
 
 // forEach runs fn for every item with bounded parallelism, collecting the

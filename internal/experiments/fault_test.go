@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"coscale/internal/fault"
@@ -23,12 +24,12 @@ func TestCounterBiasBreaksUnhardenedCoScale(t *testing.T) {
 	r := NewRunner(testBudget)
 	scen := biasScenario(0.2)
 
-	bare, err := r.executeVsBase(ErrorToleranceMix, CoScaleName,
+	bare, err := r.executeVsBase(context.Background(), ErrorToleranceMix, CoScaleName,
 		faultMutator(scen), "fault:test-bias", nil, "default")
 	if err != nil {
 		t.Fatal(err)
 	}
-	hard, err := r.executeVsBase(ErrorToleranceMix, HardenedName,
+	hard, err := r.executeVsBase(context.Background(), ErrorToleranceMix, HardenedName,
 		faultMutator(scen), "fault:test-bias", nil, "default")
 	if err != nil {
 		t.Fatal(err)

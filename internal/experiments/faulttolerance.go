@@ -133,7 +133,7 @@ func (r *Runner) ErrorTolerance() ([]FaultRow, error) {
 // errorToleranceOne runs one (scenario, policy) cell against the shared
 // fault-free baseline.
 func (r *Runner) errorToleranceOne(fc faultCase, pol PolicyName) (FaultRow, error) {
-	o, err := r.executeVsBase(ErrorToleranceMix, pol, faultMutator(fc.cfg),
+	o, err := r.executeVsBase(r.baseCtx(), ErrorToleranceMix, pol, faultMutator(fc.cfg),
 		"fault:"+fc.id, nil, "default")
 	if err != nil {
 		return FaultRow{}, err

@@ -109,6 +109,16 @@ type Config struct {
 	PowerBias float64
 }
 
+// IsZero reports whether the scenario (seed aside, the whole configuration)
+// injects nothing — the identity configuration that is bit-identical to
+// running without an injector. The serving layer canonicalizes zero
+// scenarios to "no faults" so both spellings share one cache entry.
+func (c *Config) IsZero() bool {
+	cc := *c
+	cc.Seed = 0
+	return cc == Config{}
+}
+
 // prob validates a probability field.
 func prob(field string, v float64) error {
 	if v < 0 || v > 1 {

@@ -23,7 +23,7 @@ var fixtureGroups = []struct {
 	{"floateq", []string{"floateq/bad", "floateq/clean"}},
 	{"unitliteral", []string{"unitliteral/bad", "unitliteral/clean"}},
 	{"determinism", []string{"sim/determbad", "sim/determclean", "fault/determbad", "fault/determclean", "dram/determexempt"}},
-	{"nopanic", []string{"nopanic/bad", "nopanic/clean"}},
+	{"nopanic", []string{"nopanic/bad", "nopanic/clean", "server/handlerbad", "server/handlerclean"}},
 	{"noprint", []string{"noprint/bad", "noprint/clean"}},
 	{"hotalloc", []string{"hotalloc/bad", "hotalloc/clean"}},
 	{"ignore", []string{"ignore/bad"}},
@@ -114,7 +114,7 @@ func TestBadFixturesFindEachRule(t *testing.T) {
 // every violating package must fail the build, every clean one must pass.
 func TestDriverExitCodes(t *testing.T) {
 	testdata := testdataDir(t)
-	bad := []string{"floateq/bad", "unitliteral/bad", "sim/determbad", "fault/determbad", "nopanic/bad", "noprint/bad", "hotalloc/bad", "ignore/bad"}
+	bad := []string{"floateq/bad", "unitliteral/bad", "sim/determbad", "fault/determbad", "nopanic/bad", "server/handlerbad", "noprint/bad", "hotalloc/bad", "ignore/bad"}
 	for _, rel := range bad {
 		var out, errOut bytes.Buffer
 		if code := Main([]string{filepath.Join(testdata, "src", rel)}, &out, &errOut); code != ExitFindings {
@@ -122,7 +122,7 @@ func TestDriverExitCodes(t *testing.T) {
 				rel, code, ExitFindings, out.String(), errOut.String())
 		}
 	}
-	clean := []string{"floateq/clean", "unitliteral/clean", "sim/determclean", "fault/determclean", "dram/determexempt", "nopanic/clean", "noprint/clean", "hotalloc/clean"}
+	clean := []string{"floateq/clean", "unitliteral/clean", "sim/determclean", "fault/determclean", "dram/determexempt", "nopanic/clean", "server/handlerclean", "noprint/clean", "hotalloc/clean"}
 	args := make([]string, len(clean))
 	for i, rel := range clean {
 		args[i] = filepath.Join(testdata, "src", rel)

@@ -1,0 +1,27 @@
+// Package handlerbad holds nopanic violations in serving-layer shape: HTTP
+// handlers must report failures as errors for the wrap adapter to render,
+// never panic — a panic tears down the connection mid-response and skips
+// the job-state bookkeeping.
+package handlerbad
+
+import "net/http"
+
+type request struct {
+	Workload string
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) error {
+	q := request{}
+	if q.Workload == "" {
+		panic("workload is required")
+	}
+	w.WriteHeader(http.StatusOK)
+	return nil
+}
+
+func mustNormalize(q request) request {
+	if q.Workload == "" {
+		panic(q)
+	}
+	return q
+}

@@ -1,0 +1,32 @@
+// Package handlerclean is the error-returning counterpart of handlerbad:
+// the serving layer's sanctioned shape, where every failure travels up as
+// an error and is rendered as a JSON response by the wrap adapter.
+package handlerclean
+
+import (
+	"errors"
+	"net/http"
+)
+
+var errMissingWorkload = errors.New("workload is required")
+
+type request struct {
+	Workload string
+}
+
+func (q request) normalized() (request, error) {
+	if q.Workload == "" {
+		return q, errMissingWorkload
+	}
+	return q, nil
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) error {
+	q, err := request{}.normalized()
+	if err != nil {
+		return err
+	}
+	_ = q
+	w.WriteHeader(http.StatusOK)
+	return nil
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"coscale/internal/experiments"
+)
+
+// goldenBudget keeps golden runs fast while still spanning several epochs.
+const goldenBudget = 2_000_000
+
+// bitsEqual compares float64s for bit identity (test files are outside the
+// floateq lint scope; exactness is the point here).
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	enc, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func decodeJob(t *testing.T, body []byte) jobJSON {
+	t.Helper()
+	var j jobJSON
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatalf("decode job: %v\nbody: %s", err, body)
+	}
+	return j
+}
+
+// TestServerSimulateGoldenVsRunner pins the serving contract: a simulate
+// request answered over HTTP is bit-identical to the same configuration
+// executed through experiments.Runner (the engine the CLIs use). Requests
+// run concurrently to also exercise the admission path under load.
+func TestServerSimulateGoldenVsRunner(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 16})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		workload string
+		policy   experiments.PolicyName
+	}{
+		{"MID1", experiments.CoScaleName},
+		{"ILP1", experiments.MemScaleName},
+		{"MEM1", experiments.CoScaleName},
+		{"MID1", experiments.Baseline},
+	}
+
+	// The reference: the same (mix, policy) cells through the experiments
+	// runner, exactly as coscale-experiments would run them.
+	ref := experiments.NewRunner(goldenBudget)
+	want := make([]*experiments.Outcome, len(cases))
+	for i, c := range cases {
+		o, err := ref.Execute(c.workload, c.policy, nil, "golden")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = o
+	}
+
+	results := make([]SimulateResult, len(cases))
+	var wg sync.WaitGroup
+	for i, c := range cases {
+		wg.Add(1)
+		go func(i int, workload string, policy experiments.PolicyName) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/simulate?wait=1", SimulateRequest{
+				Workload:     workload,
+				Policy:       string(policy),
+				Instructions: goldenBudget,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("%s/%s: status %d: %s", workload, policy, resp.StatusCode, body)
+				return
+			}
+			job := decodeJob(t, body)
+			if job.State != StateDone {
+				t.Errorf("%s/%s: job state %s (error %q)", workload, policy, job.State, job.Error)
+				return
+			}
+			if err := json.Unmarshal(job.Result, &results[i]); err != nil {
+				t.Errorf("%s/%s: decode result: %v", workload, policy, err)
+			}
+		}(i, c.workload, c.policy)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, c := range cases {
+		got, o := results[i], want[i]
+		name := fmt.Sprintf("%s/%s", c.workload, c.policy)
+		checks := []struct {
+			field    string
+			got, ref float64
+		}{
+			{"energy.total", got.Energy.Total, o.Run.Energy.Total()},
+			{"energy.cpu", got.Energy.CPU, o.Run.Energy.CPU},
+			{"energy.l2", got.Energy.L2, o.Run.Energy.L2},
+			{"energy.mem", got.Energy.Mem, o.Run.Energy.Mem},
+			{"energy.rest", got.Energy.Rest, o.Run.Energy.Rest},
+			{"wall_time", got.WallTime, o.Run.WallTime},
+			{"baseline.wall_time", got.Baseline.WallTime, o.Base.WallTime},
+			{"baseline.energy.total", got.Baseline.Energy.Total, o.Base.Energy.Total()},
+			{"full_savings", got.FullSavings, o.FullSavings()},
+			{"cpu_savings", got.CPUSavings, o.CPUSavings()},
+			{"mem_savings", got.MemSavings, o.MemSavings()},
+			{"avg_degradation", got.AvgDegradation, o.AvgDegradation()},
+			{"worst_degradation", got.WorstDegradation, o.WorstDegradation()},
+		}
+		for _, ch := range checks {
+			if !bitsEqual(ch.got, ch.ref) {
+				t.Errorf("%s: %s = %v (bits %x), runner says %v (bits %x)",
+					name, ch.field, ch.got, math.Float64bits(ch.got), ch.ref, math.Float64bits(ch.ref))
+			}
+		}
+		if got.Epochs != o.Run.Epochs {
+			t.Errorf("%s: epochs %d, runner says %d", name, got.Epochs, o.Run.Epochs)
+		}
+		if len(got.Apps) != len(o.Run.Apps) {
+			t.Fatalf("%s: %d apps, runner says %d", name, len(got.Apps), len(o.Run.Apps))
+		}
+		for k := range got.Apps {
+			if !bitsEqual(got.Apps[k].FinishTime, o.Run.Apps[k].FinishTime) {
+				t.Errorf("%s: app %d finish %v, runner says %v",
+					name, k, got.Apps[k].FinishTime, o.Run.Apps[k].FinishTime)
+			}
+			if got.Apps[k].Instructions != o.Run.Apps[k].Instructions {
+				t.Errorf("%s: app %d instructions %d, runner says %d",
+					name, k, got.Apps[k].Instructions, o.Run.Apps[k].Instructions)
+			}
+		}
+	}
+}
+
+// TestServerSweepGoldenVsRunner pins the sweep endpoint against the same
+// cells executed through the runner.
+func TestServerSweepGoldenVsRunner(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 4})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SweepRequest{
+		Workloads:    []string{"MID1", "ILP1"},
+		Policies:     []string{"CoScale", "MemScale"},
+		Instructions: goldenBudget,
+	}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/sweep?wait=1", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	job := decodeJob(t, body)
+	if job.State != StateDone {
+		t.Fatalf("job state %s (error %q)", job.State, job.Error)
+	}
+	var got SweepResult
+	if err := json.Unmarshal(job.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(got.Rows))
+	}
+
+	ref := experiments.NewRunner(goldenBudget)
+	i := 0
+	for _, w := range req.Workloads {
+		for _, p := range req.Policies {
+			o, err := ref.Execute(w, experiments.PolicyName(p), nil, "golden-sweep")
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := got.Rows[i]
+			if row.Workload != w || row.Policy != p {
+				t.Fatalf("row %d is %s/%s, want %s/%s", i, row.Workload, row.Policy, w, p)
+			}
+			if !bitsEqual(row.FullSavings, o.FullSavings()) {
+				t.Errorf("%s/%s: full_savings %v, runner says %v", w, p, row.FullSavings, o.FullSavings())
+			}
+			if !bitsEqual(row.WorstDegradation, o.WorstDegradation()) {
+				t.Errorf("%s/%s: worst_degradation %v, runner says %v", w, p, row.WorstDegradation, o.WorstDegradation())
+			}
+			i++
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"coscale/internal/sim"
+)
+
+// Job states. A job moves queued → running → one of the terminal states
+// (done, failed, cancelled); a queued job may go straight to cancelled.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Job is one admitted request. All mutable state is guarded by mu; the
+// updated channel is closed and replaced on every state change or epoch
+// append, giving streamers and waiters a select-able broadcast that
+// composes with context cancellation.
+type Job struct {
+	ID   string
+	Kind string // "simulate" or "sweep"
+	Hash string
+
+	mu       sync.Mutex
+	state    string
+	updated  chan struct{}
+	records  []sim.EpochRecord // streamed epochs (simulate jobs with stream=true)
+	result   json.RawMessage   // marshaled response, set in a terminal state
+	err      error
+	cancel   context.CancelFunc // set when the job starts running
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cacheHit bool
+
+	// Exactly one of these is set, matching Kind: the normalized request
+	// the worker executes.
+	simReq   *SimulateRequest
+	sweepReq *SweepRequest
+}
+
+func newJob(id, kind, hash string, now time.Time) *Job {
+	return &Job{
+		ID:      id,
+		Kind:    kind,
+		Hash:    hash,
+		state:   StateQueued,
+		updated: make(chan struct{}),
+		created: now,
+	}
+}
+
+// bump wakes every waiter; requires j.mu held.
+func (j *Job) bump() {
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// start transitions queued → running and installs the cancel hook. It
+// returns false if the job was cancelled while queued.
+func (j *Job) start(cancel context.CancelFunc, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.started = now
+	j.bump()
+	return true
+}
+
+// finish records the terminal state and result.
+func (j *Job) finish(state string, result json.RawMessage, err error, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.result = result
+	j.err = err
+	j.finished = now
+	j.cancel = nil
+	j.bump()
+}
+
+// completeFromCache marks a freshly created job done with a cached result.
+func (j *Job) completeFromCache(res *cachedResult, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.result = res.result
+	j.records = res.records
+	j.cacheHit = true
+	j.started = now
+	j.finished = now
+	j.bump()
+}
+
+// requestCancel cancels the job: a queued job is marked cancelled directly
+// (the worker will skip it), a running one has its context cancelled and
+// reaches the cancelled state when the engine unwinds. Returns false when
+// the job is already terminal.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.bump()
+		return true
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	}
+	return false
+}
+
+// publishEpoch appends one streamed epoch record and wakes streamers. It is
+// the engine's OnEpoch hook, called from the simulating goroutine.
+func (j *Job) publishEpoch(rec sim.EpochRecord) {
+	j.mu.Lock()
+	j.records = append(j.records, rec)
+	j.bump()
+	j.mu.Unlock()
+}
+
+// terminal reports whether state is one of the final states.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// jobView is a consistent snapshot of a job's externally visible state.
+type jobView struct {
+	State    string
+	Records  int
+	Result   json.RawMessage
+	Err      error
+	CacheHit bool
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// view snapshots the job and returns the broadcast channel that will be
+// closed on its next change, so callers can wait without polling.
+func (j *Job) view() (jobView, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{
+		State:    j.state,
+		Records:  len(j.records),
+		Result:   j.result,
+		Err:      j.err,
+		CacheHit: j.cacheHit,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}, j.updated
+}
+
+// recordsFrom copies the streamed records with index >= from.
+func (j *Job) recordsFrom(from int) []sim.EpochRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from >= len(j.records) {
+		return nil
+	}
+	out := make([]sim.EpochRecord, len(j.records)-from)
+	copy(out, j.records[from:])
+	return out
+}
+
+// wait blocks until the job reaches a terminal state or ctx is done.
+func (j *Job) wait(ctx context.Context) (jobView, error) {
+	for {
+		v, ch := j.view()
+		if terminal(v.State) {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// cachedResult is the LRU value: the marshaled response plus any streamed
+// epoch records, so a cache hit replays the stream identically.
+type cachedResult struct {
+	kind    string
+	result  json.RawMessage
+	records []sim.EpochRecord
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow bounds the sample set behind the p50/p99 job-latency
+// quantiles: a ring of the most recent completions, large enough for stable
+// percentiles and small enough to sort at scrape time.
+const latencyWindow = 512
+
+// metrics aggregates the serving counters exposed at /metrics. Counters are
+// atomics (written from workers and handlers); the latency ring has its own
+// lock.
+type metrics struct {
+	queued  atomic.Int64 // gauge: jobs admitted, not yet started
+	running atomic.Int64 // gauge: jobs executing on a worker
+
+	done      atomic.Int64 // terminal counts
+	failed    atomic.Int64
+	cancelled atomic.Int64
+
+	rejected atomic.Int64 // 429s from a full queue
+	deduped  atomic.Int64 // requests attached to an in-flight identical job
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	epochs atomic.Int64 // engine epochs simulated by this process
+
+	mu        sync.Mutex
+	latencies [latencyWindow]float64 // seconds, ring buffer
+	latN      int                    // total samples ever recorded
+}
+
+// observeLatency records one completed job's wall-clock latency.
+func (m *metrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	m.latencies[m.latN%latencyWindow] = d.Seconds()
+	m.latN++
+	m.mu.Unlock()
+}
+
+// quantiles returns the p50 and p99 job latency over the retained window
+// (zeros when nothing has completed yet).
+func (m *metrics) quantiles() (p50, p99 float64) {
+	m.mu.Lock()
+	n := m.latN
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	buf := make([]float64, n)
+	copy(buf, m.latencies[:n])
+	m.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(buf)
+	q := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return buf[i]
+	}
+	return q(0.50), q(0.99)
+}
+
+// write renders the plaintext exposition format: one "name value" line per
+// metric, Prometheus-compatible without client libraries.
+func (m *metrics) write(w io.Writer, uptime time.Duration) {
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	epochs := m.epochs.Load()
+	eps := 0.0
+	if s := uptime.Seconds(); s > 0 {
+		eps = float64(epochs) / s
+	}
+	p50, p99 := m.quantiles()
+
+	fmt.Fprintf(w, "coscale_jobs_queued %d\n", m.queued.Load())
+	fmt.Fprintf(w, "coscale_jobs_running %d\n", m.running.Load())
+	fmt.Fprintf(w, "coscale_jobs_done_total %d\n", m.done.Load())
+	fmt.Fprintf(w, "coscale_jobs_failed_total %d\n", m.failed.Load())
+	fmt.Fprintf(w, "coscale_jobs_cancelled_total %d\n", m.cancelled.Load())
+	fmt.Fprintf(w, "coscale_jobs_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "coscale_jobs_deduped_total %d\n", m.deduped.Load())
+	fmt.Fprintf(w, "coscale_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "coscale_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "coscale_cache_hit_rate %g\n", hitRate)
+	fmt.Fprintf(w, "coscale_job_latency_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(w, "coscale_job_latency_seconds{quantile=\"0.99\"} %g\n", p99)
+	fmt.Fprintf(w, "coscale_epochs_simulated_total %d\n", epochs)
+	fmt.Fprintf(w, "coscale_epochs_per_second %g\n", eps)
+	fmt.Fprintf(w, "coscale_uptime_seconds %g\n", uptime.Seconds())
+}

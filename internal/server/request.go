@@ -1,0 +1,276 @@
+// Package server is the serving layer on top of the simulation stack: a
+// stdlib-only HTTP/JSON daemon (cmd/coscale-serve) that accepts simulation
+// and sweep requests, runs them on a bounded worker pool, streams per-epoch
+// progress as NDJSON, and caches results in an LRU keyed by the canonical
+// request hash. Results are bit-identical to the CLIs: the policy run uses
+// the same engine, and the no-DVFS baseline is shared through
+// experiments.Runner exactly as the figure generators share it. See
+// DESIGN.md §9.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"coscale/internal/experiments"
+	"coscale/internal/fault"
+	"coscale/internal/sim"
+	"coscale/internal/workload"
+)
+
+// Defaults applied by normalization; they mirror the paper's settings so a
+// minimal request reproduces the CLI defaults.
+const (
+	// DefaultBound is the per-program slowdown bound γ (§3: 10%).
+	DefaultBound = 0.10
+	// DefaultInstrBudget is the per-application instruction budget (the
+	// paper's 100M SimPoint length).
+	DefaultInstrBudget = 100_000_000
+	// DefaultPolicy is the controller used when a request names none.
+	DefaultPolicy = string(experiments.CoScaleName)
+	// MaxEpochsCap bounds a request's max_epochs override; beyond it a
+	// single job could monopolize a worker for hours.
+	MaxEpochsCap = 10_000_000
+)
+
+// validPolicies is the full set of controller names a request may select —
+// the §3.2 comparison set plus the ablations and the hardened wrapper.
+var validPolicies = map[string]bool{
+	string(experiments.Baseline):        true,
+	string(experiments.MemScaleName):    true,
+	string(experiments.CPUOnlyName):     true,
+	string(experiments.UncoordName):     true,
+	string(experiments.SemiName):        true,
+	string(experiments.SemiOoPName):     true,
+	string(experiments.CoScaleName):     true,
+	string(experiments.OfflineName):     true,
+	string(experiments.NoGroupingName):  true,
+	string(experiments.NoMarginalCache): true,
+	string(experiments.HardenedName):    true,
+}
+
+// SimulateRequest is the body of POST /v1/simulate: one workload under one
+// policy, compared against the shared no-DVFS baseline. Zero values select
+// the paper's defaults; Normalized fills them in so that semantically equal
+// requests canonicalize — and therefore hash and cache — identically.
+type SimulateRequest struct {
+	// Workload names a Table 1 mix, e.g. "MEM1", "MIX3". Required.
+	Workload string `json:"workload"`
+	// Policy selects the controller (default "CoScale").
+	Policy string `json:"policy,omitempty"`
+	// Bound is the allowed per-program slowdown (default 0.10).
+	Bound float64 `json:"bound,omitempty"`
+	// Instructions is the per-application budget (default 100M).
+	Instructions uint64 `json:"instructions,omitempty"`
+	// Prefetch enables the next-line prefetcher (Fig. 16).
+	Prefetch bool `json:"prefetch,omitempty"`
+	// OoO emulates the 128-instruction MLP window (Figs. 17-18).
+	OoO bool `json:"ooo,omitempty"`
+	// MigrateEvery rotates threads across cores every N epochs (§3.3).
+	MigrateEvery int `json:"migrate_every,omitempty"`
+	// MaxEpochs overrides the engine's safety cap on simulated epochs
+	// (default 4000). Large instruction budgets need a matching cap raise
+	// or the run is aborted as non-terminating.
+	MaxEpochs int `json:"max_epochs,omitempty"`
+	// Faults selects a deterministic fault-injection scenario for the
+	// policy run (internal/fault). The baseline is never fault-injected:
+	// faults perturb only what the controller sees, so the fault-free
+	// baseline is the true reference, exactly as in the error-tolerance
+	// study. A zero scenario canonicalizes to none.
+	Faults *fault.Config `json:"faults,omitempty"`
+	// Stream records per-epoch progress for GET /v1/jobs/{id}/stream.
+	// It participates in the cache key: a streamed result retains its
+	// epoch records for replay, an unstreamed one does not.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// Normalized returns the canonical form of the request: defaults filled,
+// names validated, and degenerate option spellings collapsed (a zero fault
+// scenario becomes nil). Two requests that simulate the same configuration
+// normalize to the same value.
+func (q SimulateRequest) Normalized() (SimulateRequest, error) {
+	if q.Workload == "" {
+		return q, fmt.Errorf("workload is required (one of %v)", workload.Names())
+	}
+	if _, err := workload.Get(q.Workload); err != nil {
+		return q, err
+	}
+	if q.Policy == "" {
+		q.Policy = DefaultPolicy
+	}
+	if !validPolicies[q.Policy] {
+		return q, fmt.Errorf("unknown policy %q", q.Policy)
+	}
+	if q.Bound < 0 || q.Bound > 1 {
+		return q, fmt.Errorf("bound %g outside [0, 1] (0 selects the default %g)", q.Bound, DefaultBound)
+	}
+	if q.Bound == 0 { //lint:ignore floateq zero is the documented default sentinel, not a computed value
+		q.Bound = DefaultBound
+	}
+	if q.Instructions == 0 {
+		q.Instructions = DefaultInstrBudget
+	}
+	if q.MigrateEvery < 0 {
+		return q, fmt.Errorf("migrate_every must be non-negative")
+	}
+	if q.MaxEpochs < 0 || q.MaxEpochs > MaxEpochsCap {
+		return q, fmt.Errorf("max_epochs %d outside [0, %d] (0 selects the engine default)", q.MaxEpochs, MaxEpochsCap)
+	}
+	if q.Faults != nil {
+		if err := q.Faults.Validate(); err != nil {
+			return q, err
+		}
+		if q.Faults.IsZero() {
+			q.Faults = nil
+		} else {
+			// Copy so later mutations of the caller's scenario cannot
+			// alias the canonical form.
+			fc := *q.Faults
+			q.Faults = &fc
+		}
+	}
+	return q, nil
+}
+
+// Hash returns the canonical request hash: SHA-256 over a kind-tagged JSON
+// encoding of the normalized request. Semantically equal requests (JSON
+// field order, defaults omitted vs spelled out, zero fault scenario vs
+// none) hash identically; any behavioural difference changes the hash.
+func (q SimulateRequest) Hash() (string, error) {
+	n, err := q.Normalized()
+	if err != nil {
+		return "", err
+	}
+	return hashTagged("simulate", n)
+}
+
+// mutate applies the request to a simulation configuration; base mutates
+// only the fields that affect the no-DVFS baseline (faults and the bound
+// steer the controller, which the baseline does not have).
+func (q SimulateRequest) mutate(c *sim.Config) {
+	q.mutateBase(c)
+	c.Gamma = q.Bound
+	if q.Faults != nil {
+		fc := *q.Faults
+		c.Faults = &fc
+	}
+}
+
+func (q SimulateRequest) mutateBase(c *sim.Config) {
+	c.InstrBudget = q.Instructions
+	c.Prefetch = q.Prefetch
+	c.OoO = q.OoO
+	c.MigrateEvery = q.MigrateEvery
+	c.MaxEpochs = q.MaxEpochs
+}
+
+// baselineKey keys the shared no-DVFS baseline in the experiments runner:
+// everything that changes baseline behaviour, nothing that only changes the
+// controller. Requests differing solely in policy, bound or fault scenario
+// share one baseline simulation.
+func (q SimulateRequest) baselineKey() string {
+	return fmt.Sprintf("serve/i=%d/pf=%t/ooo=%t/mig=%d/me=%d", q.Instructions, q.Prefetch, q.OoO, q.MigrateEvery, q.MaxEpochs)
+}
+
+// SweepRequest is the body of POST /v1/sweep: the cross product of
+// workloads × policies, each compared against its shared baseline — the
+// serving form of the Figure 8/9 sweep. Empty lists select the paper's
+// full sets.
+type SweepRequest struct {
+	// Workloads lists Table 1 mixes (empty = all 16, presentation order).
+	Workloads []string `json:"workloads,omitempty"`
+	// Policies lists controllers (empty = the six practical policies).
+	Policies []string `json:"policies,omitempty"`
+	// Bound, Instructions, Prefetch and OoO apply to every cell.
+	Bound        float64 `json:"bound,omitempty"`
+	Instructions uint64  `json:"instructions,omitempty"`
+	Prefetch     bool    `json:"prefetch,omitempty"`
+	OoO          bool    `json:"ooo,omitempty"`
+}
+
+// Normalized returns the canonical sweep: lists defaulted and validated
+// (order is semantic — it is the row order of the response — so it is
+// preserved, and duplicates are rejected rather than silently deduped).
+func (q SweepRequest) Normalized() (SweepRequest, error) {
+	if len(q.Workloads) == 0 {
+		q.Workloads = workload.Names()
+	} else {
+		q.Workloads = append([]string(nil), q.Workloads...)
+	}
+	seenW := map[string]bool{}
+	for _, w := range q.Workloads {
+		if _, err := workload.Get(w); err != nil {
+			return q, err
+		}
+		if seenW[w] {
+			return q, fmt.Errorf("duplicate workload %q", w)
+		}
+		seenW[w] = true
+	}
+	if len(q.Policies) == 0 {
+		q.Policies = make([]string, len(experiments.PracticalPolicies))
+		for i, p := range experiments.PracticalPolicies {
+			q.Policies[i] = string(p)
+		}
+	} else {
+		q.Policies = append([]string(nil), q.Policies...)
+	}
+	seenP := map[string]bool{}
+	for _, p := range q.Policies {
+		if !validPolicies[p] {
+			return q, fmt.Errorf("unknown policy %q", p)
+		}
+		if seenP[p] {
+			return q, fmt.Errorf("duplicate policy %q", p)
+		}
+		seenP[p] = true
+	}
+	if q.Bound < 0 || q.Bound > 1 {
+		return q, fmt.Errorf("bound %g outside [0, 1] (0 selects the default %g)", q.Bound, DefaultBound)
+	}
+	if q.Bound == 0 { //lint:ignore floateq zero is the documented default sentinel, not a computed value
+		q.Bound = DefaultBound
+	}
+	if q.Instructions == 0 {
+		q.Instructions = DefaultInstrBudget
+	}
+	return q, nil
+}
+
+// Hash returns the canonical sweep hash (see SimulateRequest.Hash).
+func (q SweepRequest) Hash() (string, error) {
+	n, err := q.Normalized()
+	if err != nil {
+		return "", err
+	}
+	return hashTagged("sweep", n)
+}
+
+// cell returns the per-cell simulate view of one sweep entry.
+func (q SweepRequest) cell(w, p string) SimulateRequest {
+	return SimulateRequest{
+		Workload:     w,
+		Policy:       p,
+		Bound:        q.Bound,
+		Instructions: q.Instructions,
+		Prefetch:     q.Prefetch,
+		OoO:          q.OoO,
+	}
+}
+
+// hashTagged hashes a kind discriminator plus the canonical JSON encoding
+// of v. encoding/json emits struct fields in declaration order, so the
+// encoding of a normalized request is deterministic.
+func hashTagged(kind string, v any) (string, error) {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{'\n'})
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coscale/internal/fault"
+	"coscale/internal/workload"
+)
+
+func hashOfJSON(t *testing.T, raw string) string {
+	t.Helper()
+	var q SimulateRequest
+	if err := json.Unmarshal([]byte(raw), &q); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+	h, err := q.Hash()
+	if err != nil {
+		t.Fatalf("hash %s: %v", raw, err)
+	}
+	return h
+}
+
+// TestSimulateHashSpellings pins hand-picked equivalent spellings: field
+// order, defaults omitted versus spelled out, and degenerate options.
+func TestSimulateHashSpellings(t *testing.T) {
+	pairs := []struct{ a, b string }{
+		// Defaults omitted vs filled in.
+		{`{"workload":"MEM1"}`,
+			`{"workload":"MEM1","policy":"CoScale","bound":0.1,"instructions":100000000}`},
+		// JSON field order.
+		{`{"workload":"MEM1","policy":"MemScale","bound":0.05}`,
+			`{"bound":0.05,"policy":"MemScale","workload":"MEM1"}`},
+		// A fault scenario that injects nothing collapses to no faults,
+		// whatever its seed.
+		{`{"workload":"MEM1","faults":{"Seed":7}}`, `{"workload":"MEM1"}`},
+		// Explicit false is the zero value.
+		{`{"workload":"MEM1","stream":false,"prefetch":false}`, `{"workload":"MEM1"}`},
+		// Bound zero is the default sentinel.
+		{`{"workload":"MEM1","bound":0.1}`, `{"workload":"MEM1","bound":0}`},
+	}
+	for _, p := range pairs {
+		if ha, hb := hashOfJSON(t, p.a), hashOfJSON(t, p.b); ha != hb {
+			t.Errorf("hashes differ:\n  %s -> %s\n  %s -> %s", p.a, ha, p.b, hb)
+		}
+	}
+}
+
+// TestSimulateHashDistinct verifies that changing any behavioural field
+// changes the hash, and that the kind tag separates simulate from sweep.
+func TestSimulateHashDistinct(t *testing.T) {
+	variants := []string{
+		`{"workload":"MEM1"}`,
+		`{"workload":"MEM2"}`,
+		`{"workload":"MEM1","policy":"MemScale"}`,
+		`{"workload":"MEM1","bound":0.05}`,
+		`{"workload":"MEM1","instructions":1000000}`,
+		`{"workload":"MEM1","prefetch":true}`,
+		`{"workload":"MEM1","ooo":true}`,
+		`{"workload":"MEM1","migrate_every":8}`,
+		`{"workload":"MEM1","max_epochs":8000}`,
+		`{"workload":"MEM1","stream":true}`,
+		`{"workload":"MEM1","faults":{"Seed":1,"Counters":{"Noise":0.05}}}`,
+		`{"workload":"MEM1","faults":{"Seed":2,"Counters":{"Noise":0.05}}}`,
+	}
+	seen := map[string]string{}
+	for _, v := range variants {
+		h := hashOfJSON(t, v)
+		if prev, ok := seen[h]; ok {
+			t.Errorf("collision: %s and %s both hash to %s", prev, v, h)
+		}
+		seen[h] = v
+	}
+
+	// The kind discriminator keeps a simulate request and a sweep request
+	// with identical encodings apart.
+	hs, err := hashTagged("simulate", struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := hashTagged("sweep", struct{}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs == hw {
+		t.Error("simulate and sweep kinds hash identically")
+	}
+}
+
+// randomRequest draws a request from a small grid of meaningful values.
+func randomRequest(rng *rand.Rand) SimulateRequest {
+	names := workload.Names()
+	policies := []string{"", "CoScale", "MemScale", "CPUOnly", "Baseline", "CoScale-Hardened"}
+	bounds := []float64{0, 0.05, DefaultBound, 0.2}
+	budgets := []uint64{0, DefaultInstrBudget, 1_000_000, 2_000_000}
+	q := SimulateRequest{
+		Workload:     names[rng.Intn(len(names))],
+		Policy:       policies[rng.Intn(len(policies))],
+		Bound:        bounds[rng.Intn(len(bounds))],
+		Instructions: budgets[rng.Intn(len(budgets))],
+		Prefetch:     rng.Intn(2) == 0,
+		OoO:          rng.Intn(2) == 0,
+		MigrateEvery: []int{0, 0, 8}[rng.Intn(3)],
+		MaxEpochs:    []int{0, 0, 8000}[rng.Intn(3)],
+		Stream:       rng.Intn(2) == 0,
+	}
+	switch rng.Intn(3) {
+	case 1: // injects nothing: must canonicalize to no faults
+		q.Faults = &fault.Config{Seed: uint64(rng.Intn(4))}
+	case 2:
+		q.Faults = &fault.Config{
+			Seed:     uint64(rng.Intn(4)),
+			Counters: fault.CounterFaults{Noise: 0.01 * float64(1+rng.Intn(3))},
+		}
+	}
+	return q
+}
+
+// sparseSpelling re-encodes a normalized request by hand: fields equal to
+// their defaults are omitted and the remaining fields are emitted in a
+// shuffled order — a maximally different spelling of the same request.
+func sparseSpelling(rng *rand.Rand, n SimulateRequest) string {
+	var parts []string
+	add := func(format string, args ...any) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	add(`"workload":%q`, n.Workload)
+	if n.Policy != DefaultPolicy {
+		add(`"policy":%q`, n.Policy)
+	}
+	if n.Bound != DefaultBound {
+		add(`"bound":%g`, n.Bound)
+	}
+	if n.Instructions != DefaultInstrBudget {
+		add(`"instructions":%d`, n.Instructions)
+	}
+	if n.Prefetch {
+		add(`"prefetch":true`)
+	}
+	if n.OoO {
+		add(`"ooo":true`)
+	}
+	if n.MigrateEvery != 0 {
+		add(`"migrate_every":%d`, n.MigrateEvery)
+	}
+	if n.MaxEpochs != 0 {
+		add(`"max_epochs":%d`, n.MaxEpochs)
+	}
+	if n.Stream {
+		add(`"stream":true`)
+	}
+	if n.Faults != nil {
+		enc, err := json.Marshal(n.Faults)
+		if err != nil {
+			panic(err)
+		}
+		add(`"faults":%s`, enc)
+	}
+	rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// TestSimulateHashProperty is the canonicalization property test: for a
+// seeded stream of random requests, (a) the sparse shuffled spelling hashes
+// identically to the original, and (b) distinct canonical forms never share
+// a hash (and equal canonical forms never split).
+func TestSimulateHashProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	hashToCanon := map[string]string{}
+	canonToHash := map[string]string{}
+	for i := 0; i < 400; i++ {
+		q := randomRequest(rng)
+		n, err := q.Normalized()
+		if err != nil {
+			t.Fatalf("iteration %d: normalize %+v: %v", i, q, err)
+		}
+		h1, err := q.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sparse := sparseSpelling(rng, n)
+		if h2 := hashOfJSON(t, sparse); h2 != h1 {
+			t.Fatalf("iteration %d: sparse spelling hashes differently\n  request: %+v\n  sparse:  %s\n  %s vs %s",
+				i, q, sparse, h1, h2)
+		}
+
+		canon, err := json.Marshal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, ok := hashToCanon[h1]; ok && prev != string(canon) {
+			t.Fatalf("iteration %d: hash collision between\n  %s\n  %s", i, prev, canon)
+		}
+		if prev, ok := canonToHash[string(canon)]; ok && prev != h1 {
+			t.Fatalf("iteration %d: canonical form %s hashed both %s and %s", i, canon, prev, h1)
+		}
+		hashToCanon[h1] = string(canon)
+		canonToHash[string(canon)] = h1
+	}
+}
+
+// TestSweepHash covers the sweep request's canonical form: empty lists mean
+// the paper's full sets, order is semantic, duplicates are rejected.
+func TestSweepHash(t *testing.T) {
+	full := SweepRequest{
+		Workloads: workload.Names(),
+		Policies:  []string{"MemScale", "CPUOnly", "Uncoordinated", "Semi-coordinated", "CoScale", "Offline"},
+	}
+	hFull, err := full.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hEmpty, err := SweepRequest{}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hFull != hEmpty {
+		t.Error("empty sweep lists should hash like the explicit full sets")
+	}
+
+	ab, err := SweepRequest{Workloads: []string{"MEM1", "MEM2"}}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := SweepRequest{Workloads: []string{"MEM2", "MEM1"}}.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab == ba {
+		t.Error("workload order is row order, so it must affect the hash")
+	}
+
+	if _, err := (SweepRequest{Workloads: []string{"MEM1", "MEM1"}}).Hash(); err == nil {
+		t.Error("duplicate workload accepted")
+	}
+	if _, err := (SweepRequest{Policies: []string{"CoScale", "CoScale"}}).Hash(); err == nil {
+		t.Error("duplicate policy accepted")
+	}
+	if _, err := (SweepRequest{Workloads: []string{"NOPE"}}).Hash(); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// TestSimulateNormalizeErrors covers rejected requests.
+func TestSimulateNormalizeErrors(t *testing.T) {
+	bad := []SimulateRequest{
+		{},                                              // missing workload
+		{Workload: "NOPE"},                              // unknown workload
+		{Workload: "MEM1", Policy: "Magic"},             // unknown policy
+		{Workload: "MEM1", Bound: 1.5},                  // bound out of range
+		{Workload: "MEM1", Bound: -0.1},                 // negative bound
+		{Workload: "MEM1", MigrateEvery: -1},            // negative period
+		{Workload: "MEM1", MaxEpochs: -1},               // negative cap
+		{Workload: "MEM1", MaxEpochs: MaxEpochsCap + 1}, // cap exceeded
+		{Workload: "MEM1", Faults: &fault.Config{Counters: fault.CounterFaults{Noise: 2}}}, // invalid scenario
+	}
+	for i, q := range bad {
+		if _, err := q.Normalized(); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, q)
+		}
+	}
+}

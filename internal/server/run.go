@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+
+	"coscale/internal/experiments"
+	"coscale/internal/sim"
+	"coscale/internal/workload"
+)
+
+// EnergyJSON is the integrated energy breakdown of a run, in joules.
+type EnergyJSON struct {
+	CPU   float64 `json:"cpu"`
+	L2    float64 `json:"l2"`
+	Mem   float64 `json:"mem"`
+	Rest  float64 `json:"rest"`
+	Total float64 `json:"total"`
+}
+
+func energyJSON(e sim.Energy) EnergyJSON {
+	return EnergyJSON{CPU: e.CPU, L2: e.L2, Mem: e.Mem, Rest: e.Rest, Total: e.Total()}
+}
+
+// AppJSON is one application's outcome within a run.
+type AppJSON struct {
+	Core         int     `json:"core"`
+	App          string  `json:"app"`
+	Instructions uint64  `json:"instructions"`
+	FinishTime   float64 `json:"finish_time_seconds"`
+}
+
+// BaselineJSON summarizes the shared no-DVFS reference run.
+type BaselineJSON struct {
+	Epochs   int        `json:"epochs"`
+	WallTime float64    `json:"wall_time_seconds"`
+	Energy   EnergyJSON `json:"energy_joules"`
+}
+
+// SimulateResult is the response body of a completed simulate job: the
+// policy run, its baseline, and the paper's headline metrics. Every float
+// is carried through JSON bit-exactly (encoding/json round-trips float64),
+// so results are diffable against the CLIs.
+type SimulateResult struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+
+	Epochs   int        `json:"epochs"`
+	WallTime float64    `json:"wall_time_seconds"`
+	Energy   EnergyJSON `json:"energy_joules"`
+	Apps     []AppJSON  `json:"apps"`
+
+	Baseline BaselineJSON `json:"baseline"`
+
+	FullSavings      float64   `json:"full_savings"`
+	CPUSavings       float64   `json:"cpu_savings"`
+	MemSavings       float64   `json:"mem_savings"`
+	Degradations     []float64 `json:"degradations"`
+	AvgDegradation   float64   `json:"avg_degradation"`
+	WorstDegradation float64   `json:"worst_degradation"`
+}
+
+// simulateResult builds the response from an outcome.
+func simulateResult(q SimulateRequest, o *experiments.Outcome) SimulateResult {
+	res := SimulateResult{
+		Workload: q.Workload,
+		Policy:   q.Policy,
+		Epochs:   o.Run.Epochs,
+		WallTime: o.Run.WallTime,
+		Energy:   energyJSON(o.Run.Energy),
+		Baseline: BaselineJSON{
+			Epochs:   o.Base.Epochs,
+			WallTime: o.Base.WallTime,
+			Energy:   energyJSON(o.Base.Energy),
+		},
+		FullSavings:      o.FullSavings(),
+		CPUSavings:       o.CPUSavings(),
+		MemSavings:       o.MemSavings(),
+		Degradations:     o.Degradations(),
+		AvgDegradation:   o.AvgDegradation(),
+		WorstDegradation: o.WorstDegradation(),
+	}
+	for _, a := range o.Run.Apps {
+		res.Apps = append(res.Apps, AppJSON{
+			Core:         a.Core,
+			App:          a.App,
+			Instructions: a.Instructions,
+			FinishTime:   a.FinishTime,
+		})
+	}
+	return res
+}
+
+// SweepRow is one (workload, policy) cell of a sweep response.
+type SweepRow struct {
+	Workload         string  `json:"workload"`
+	Policy           string  `json:"policy"`
+	Epochs           int     `json:"epochs"`
+	FullSavings      float64 `json:"full_savings"`
+	AvgDegradation   float64 `json:"avg_degradation"`
+	WorstDegradation float64 `json:"worst_degradation"`
+}
+
+// SweepResult is the response body of a completed sweep job, rows in
+// request (workloads-major) order.
+type SweepResult struct {
+	Bound        float64    `json:"bound"`
+	Instructions uint64     `json:"instructions"`
+	Rows         []SweepRow `json:"rows"`
+}
+
+// isCancellation reports whether err stems from context cancellation rather
+// than a deterministic simulation failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// runCell executes one (workload, policy) configuration against its shared
+// baseline. The baseline is memoized in the experiments runner — keyed only
+// by the fields that change baseline behaviour — so concurrent and repeated
+// requests over the same workload run one baseline simulation total, the
+// same sharing the figure generators rely on. The policy run always
+// executes here (never via the runner's outcome cache) so the per-epoch
+// stream fires on every cache-missing job.
+func (s *Server) runCell(ctx context.Context, q SimulateRequest, onEpoch func(sim.EpochRecord)) (*experiments.Outcome, error) {
+	base, err := s.runner.BaselineContext(ctx, q.Workload, q.mutateBase, q.baselineKey())
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{Mix: workload.MustGet(q.Workload)}
+	q.mutate(&cfg)
+	pol, err := experiments.NewPolicy(experiments.PolicyName(q.Policy), cfg.PolicyConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = pol
+	cfg.OnEpoch = onEpoch
+	eng, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.epochs.Add(int64(res.Epochs))
+	return &experiments.Outcome{Base: base, Run: res}, nil
+}
+
+// executeSimulate runs a simulate job to a marshaled SimulateResult.
+func (s *Server) executeSimulate(ctx context.Context, j *Job) (json.RawMessage, error) {
+	q := *j.simReq
+	var onEpoch func(sim.EpochRecord)
+	if q.Stream {
+		onEpoch = j.publishEpoch
+	}
+	o, err := s.runCell(ctx, q, onEpoch)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(simulateResult(q, o))
+}
+
+// executeSweep runs every cell of a sweep job sequentially (the job itself
+// is the unit of worker-pool scheduling; cells share baselines through the
+// runner) to a marshaled SweepResult.
+func (s *Server) executeSweep(ctx context.Context, j *Job) (json.RawMessage, error) {
+	q := *j.sweepReq
+	out := SweepResult{Bound: q.Bound, Instructions: q.Instructions}
+	for _, w := range q.Workloads {
+		for _, p := range q.Policies {
+			o, err := s.runCell(ctx, q.cell(w, p), nil)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, SweepRow{
+				Workload:         w,
+				Policy:           p,
+				Epochs:           o.Run.Epochs,
+				FullSavings:      o.FullSavings(),
+				AvgDegradation:   o.AvgDegradation(),
+				WorstDegradation: o.WorstDegradation(),
+			})
+		}
+	}
+	return json.Marshal(out)
+}

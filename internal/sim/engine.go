@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -62,6 +63,14 @@ type Config struct {
 	Faults *fault.Config
 
 	RecordTimeline bool // keep per-epoch records (Fig. 7)
+
+	// OnEpoch, when non-nil, receives one freshly allocated EpochRecord per
+	// completed epoch while the run progresses — the hook behind
+	// coscale-serve's NDJSON streaming. It runs synchronously on the
+	// simulating goroutine, so a slow consumer slows the run but cannot
+	// corrupt it, and it never alters results: records are derived from the
+	// same state whether or not anyone is listening.
+	OnEpoch func(EpochRecord)
 }
 
 // withDefaults fills zero fields with the paper's defaults.
@@ -676,8 +685,15 @@ func (e *Engine) oracleObservationInto(obs *policy.Observation, st *trueState) {
 }
 
 // Run executes the workload until every application has committed its
-// instruction budget (or MaxEpochs elapse).
-func (e *Engine) Run() (*Result, error) {
+// instruction budget (or MaxEpochs elapse). It is RunContext with a
+// background context.
+func (e *Engine) Run() (*Result, error) { return e.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: the context is checked once per
+// epoch, so a long simulation stops within one epoch of ctx being done and
+// returns an error wrapping ctx.Err(). A cancelled run leaves the engine in
+// a partial state; call Reset before reusing it.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	cfg := e.cfg
 	polName := "Baseline"
 	var oracle bool
@@ -690,6 +706,9 @@ func (e *Engine) Run() (*Result, error) {
 
 	epochs := 0
 	for ; epochs < cfg.MaxEpochs && !e.allFinished(); epochs++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: %s/%s interrupted after %d epochs: %w", cfg.Mix.Name, polName, epochs, err)
+		}
 		e.step(epochs, oracle)
 	}
 	if !e.allFinished() {
@@ -798,8 +817,14 @@ func (e *Engine) step(epoch int, oracle bool) {
 		cfg.Policy.Observe(e.obsEpoch)
 	}
 
-	if cfg.RecordTimeline {
-		e.record(epoch, epochWindow, e.energy.Total()-epochEnergyStart)
+	if cfg.RecordTimeline || cfg.OnEpoch != nil {
+		rec := e.epochRecord(epoch, epochWindow, e.energy.Total()-epochEnergyStart)
+		if cfg.RecordTimeline {
+			e.records = append(e.records, rec)
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(rec)
+		}
 	}
 }
 
@@ -864,7 +889,9 @@ func (e *Engine) applyDecision(d policy.Decision, n int) []float64 {
 	return dead
 }
 
-func (e *Engine) record(idx int, window float64, energyDelta float64) {
+// epochRecord builds a freshly allocated record of the just-completed epoch
+// for the timeline (Fig. 7) and the OnEpoch streaming hook.
+func (e *Engine) epochRecord(idx int, window float64, energyDelta float64) EpochRecord {
 	st := e.trueStats()
 	hz := e.coreHz()
 	res := e.solver.Solve(st.stats, hz, e.cfg.MemLadder.Hz(e.memStep))
@@ -885,7 +912,7 @@ func (e *Engine) record(idx int, window float64, energyDelta float64) {
 	if window > 0 {
 		rec.PowerW = energyDelta / window
 	}
-	e.records = append(e.records, rec)
+	return rec
 }
 
 // resizeCoreOps and resizeCoreObs reuse scratch backing arrays without
