@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint test test-race bench bench-smoke bench-json fmt fuzz-smoke fault-smoke serve-smoke
+.PHONY: check build vet fmt-check lint test test-race bench bench-smoke bench-json bench-compare profile fmt fuzz-smoke fault-smoke serve-smoke
 
 ## check: the full gate — tier-1 verify + vet + gofmt + coscale-lint
 check: build vet fmt-check lint test
@@ -22,16 +22,33 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-## bench-smoke: the hot-path regression gate — alloc-budget tests plus one
-## iteration of the headline search/epoch benchmarks (mirrors CI's bench-smoke)
+## bench-smoke: the hot-path regression gate — alloc-budget tests, one
+## iteration of the headline search/epoch benchmarks, and a short
+## coscale-bench diff against the committed baseline (mirrors CI's
+## bench-smoke)
 bench-smoke:
 	$(GO) test -run 'ZeroAlloc|DeterministicUnderReuse|GoldenBitIdentical' -count=1 . ./internal/sim
 	$(GO) test -bench 'BenchmarkSearch16Cores|BenchmarkEpochSimulation' -benchtime=1x -benchmem -run='^$$' .
+	$(MAKE) bench-compare
 
 ## bench-json: regenerate BENCH_baseline.json (ns/op, allocs/op, figure
 ## wall-times; see DESIGN.md §7 for the schema)
 bench-json:
 	$(GO) run ./cmd/coscale-bench -out BENCH_baseline.json
+
+## bench-compare: diff a fresh (short) coscale-bench run against the
+## committed baseline and fail on regression. Allocation counts gate
+## strictly; ns/op gates at 4x to absorb machine differences and the short
+## benchtime's noise (cmd/coscale-bench documents the policy).
+bench-compare:
+	$(GO) run ./cmd/coscale-bench -benchtime 100ms -figure-budget 2000000 \
+		-threshold 4 -compare BENCH_baseline.json
+
+## profile: CPU and allocation profiles of the headline benchmarks
+## (inspect with `go tool pprof cpu.out` / `go tool pprof mem.out`)
+profile:
+	$(GO) run ./cmd/coscale-bench -cpuprofile cpu.out -memprofile mem.out -out /dev/null
+	@echo "wrote cpu.out and mem.out; inspect with: go tool pprof cpu.out"
 
 ## fuzz-smoke: a short burst of every native fuzz target (go allows one
 ## -fuzz target per invocation, hence the separate runs)

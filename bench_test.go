@@ -20,6 +20,7 @@ import (
 	"coscale/internal/dram"
 	"coscale/internal/experiments"
 	"coscale/internal/policy"
+	"coscale/internal/sim"
 	"coscale/internal/trace"
 )
 
@@ -289,11 +290,40 @@ func benchSearch(b *testing.B, n int) {
 	for i := 0; i < b.N; i++ {
 		cs.Decide(obs)
 	}
+	b.StopTimer()
+	reportPerMove(b, cs)
+}
+
+// reportPerMove surfaces the per-step cost of the search walk: the number of
+// committed frequency moves grows with the core count, so ns/op alone
+// conflates walk length with per-move cost. ns/move is the sub-linear-scaling
+// figure of merit (DESIGN.md §10).
+func reportPerMove(b *testing.B, cs *core.CoScale) {
+	if st := cs.SearchStats(); st.Moves > 0 {
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(perOp/float64(st.Moves), "ns/move")
+		b.ReportMetric(float64(st.Moves), "moves")
+	}
 }
 
 func BenchmarkSearch16Cores(b *testing.B)  { benchSearch(b, 16) }
 func BenchmarkSearch64Cores(b *testing.B)  { benchSearch(b, 64) }
 func BenchmarkSearch128Cores(b *testing.B) { benchSearch(b, 128) }
+func BenchmarkSearch256Cores(b *testing.B) { benchSearch(b, 256) }
+func BenchmarkSearch512Cores(b *testing.B) { benchSearch(b, 512) }
+
+// BenchmarkSearchNoTables quantifies the memoized prediction tables
+// (DESIGN.md §10) by running the same search with direct model evaluation.
+func BenchmarkSearchNoTables128Cores(b *testing.B) {
+	cfg, obs := searchBenchObs(128)
+	cs := must(core.NewWithOptions(cfg, core.Options{DisableTables: true}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Decide(obs)
+	}
+	b.StopTimer()
+	reportPerMove(b, cs)
+}
 
 // BenchmarkSearchNoCache quantifies the Figure 2 marginal-caching savings.
 func BenchmarkSearchNoCache16Cores(b *testing.B) {
@@ -356,10 +386,28 @@ func BenchmarkPowerCap(b *testing.B) {
 	}
 }
 
-// BenchmarkEpochSimulation measures raw fast-backend throughput.
+// BenchmarkEpochSimulation measures raw fast-backend throughput in steady
+// state: the engine and controller are built once and rewound per iteration
+// (both Resets are bit-identity-preserving), so the number is simulation
+// throughput rather than per-run construction — trace parsing, ladder
+// building and scratch growth all happen before the timer starts.
 func BenchmarkEpochSimulation(b *testing.B) {
+	sc, err := Config{Workload: "MID1", InstructionBudget: benchBudget}.toSim()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs := must(core.New(sc.PolicyConfig()))
+	sc.Policy = cs
+	eng, err := sim.New(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(Config{Workload: "MID1", InstructionBudget: benchBudget}); err != nil {
+		eng.Reset()
+		cs.Reset()
+		if _, err := eng.Run(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,15 +1,27 @@
 // Command coscale-bench runs the headline performance benchmarks — the §3.1
-// search cost at 16/64/128 cores and the raw epoch-simulation throughput —
+// search cost at 16-512 cores and the raw epoch-simulation throughput —
 // plus a timed figure regeneration, and writes the numbers as machine-readable
 // JSON. The committed BENCH_baseline.json at the repository root is this
-// program's output; regenerate it with `make bench-json` and compare against
-// the committed copy to spot hot-path regressions.
+// program's output; regenerate it with `make bench-json`.
+//
+// Diff mode compares a fresh run against a previous report and exits
+// non-zero on regression, so CI can gate hot-path changes:
+//
+//	coscale-bench -compare BENCH_baseline.json
+//
+// Allocation counts are deterministic and gate strictly (any increase over
+// the baseline fails). Nanosecond timings vary across machines, so they gate
+// loosely: a benchmark fails only when it exceeds the baseline by the
+// -threshold factor (default 3x), which catches algorithmic regressions
+// without flaking on hardware differences.
 //
 // Usage:
 //
 //	coscale-bench                      # print JSON to stdout
 //	coscale-bench -out BENCH_baseline.json
 //	coscale-bench -benchtime 2s -figure-budget 10000000
+//	coscale-bench -compare BENCH_baseline.json -threshold 2.5
+//	coscale-bench -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -19,13 +31,15 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
-	"coscale"
 	"coscale/internal/buildinfo"
 	"coscale/internal/core"
 	"coscale/internal/experiments"
+	"coscale/internal/sim"
+	"coscale/internal/workload"
 )
 
 // Report is the BENCH_*.json schema (see DESIGN.md §7 for how to read it).
@@ -37,13 +51,18 @@ type Report struct {
 	Figures    []FigureRow `json:"figures"`
 }
 
-// BenchRow records one testing.Benchmark result.
+// BenchRow records one testing.Benchmark result. For the search benchmarks,
+// Moves and NsPerMove expose per-step cost: the walk takes more moves at
+// higher core counts, so ns/op alone conflates walk length with per-move
+// cost; ns/move is the sub-linear-scaling figure of merit (DESIGN.md §10).
 type BenchRow struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+	Moves       int     `json:"moves,omitempty"`
+	NsPerMove   float64 `json:"ns_per_move,omitempty"`
 }
 
 // FigureRow records the wall time of one figure regeneration.
@@ -62,6 +81,10 @@ func main() {
 		benchtime    = flag.Duration("benchtime", time.Second, "minimum measurement time per benchmark")
 		epochBudget  = flag.Uint64("epoch-budget", 50_000_000, "instructions per app for the epoch-simulation benchmark")
 		figureBudget = flag.Uint64("figure-budget", 10_000_000, "instructions per app for the timed figure regeneration")
+		compare      = flag.String("compare", "", "previous report to diff against; exit 1 on regression")
+		threshold    = flag.Float64("threshold", 3.0, "ns/op regression factor tolerated in -compare mode")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run here")
+		memprofile   = flag.String("memprofile", "", "write an allocation profile of the benchmark run here")
 		version      = flag.Bool("version", false, "print the version and exit")
 	)
 	testing.Init() // registers -test.* flags so benchtime can be set below
@@ -76,31 +99,68 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	rep := Report{
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 		Benchtime: benchtime.String(),
 	}
 
-	for _, n := range []int{16, 64, 128} {
-		n := n
-		rep.Benchmarks = append(rep.Benchmarks, bench(fmt.Sprintf("Search%dCores", n), func(b *testing.B) {
-			cfg, obs := experiments.SearchBenchObs(n)
-			cs, err := core.New(cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
+	for _, n := range []int{16, 64, 128, 256, 512} {
+		cfg, obs := experiments.SearchBenchObs(n)
+		cs, err := core.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := bench(fmt.Sprintf("Search%dCores", n), func(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				cs.Decide(obs)
 			}
-		}))
+		})
+		if st := cs.SearchStats(); st.Moves > 0 {
+			row.Moves = st.Moves
+			row.NsPerMove = row.NsPerOp / float64(st.Moves)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, row)
 	}
 	rep.Benchmarks = append(rep.Benchmarks, bench("EpochSimulation", func(b *testing.B) {
+		// Steady-state form: engine and controller are built once and
+		// rewound per iteration, so the measurement is simulation
+		// throughput, not per-run construction (trace parsing, ladder
+		// building, scratch growth).
+		mix, err := workload.Get("MID1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := sim.Config{Mix: mix, InstrBudget: *epochBudget}
+		cs, err := core.New(sc.PolicyConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.Policy = cs
+		eng, err := sim.New(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := coscale.Run(coscale.Config{Workload: "MID1", InstructionBudget: *epochBudget}); err != nil {
+			eng.Reset()
+			cs.Reset()
+			if _, err := eng.Run(); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -119,17 +179,44 @@ func main() {
 		Seconds:     time.Since(start).Seconds(),
 	})
 
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
+	switch {
+	case *out != "":
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	case *compare == "": // diff mode logs the comparison instead of the report
 		os.Stdout.Write(buf)
-		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		log.Fatal(err)
+
+	if *compare != "" {
+		old, err := readReport(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if failures := diff(old, rep, *threshold); len(failures) > 0 {
+			for _, f := range failures {
+				log.Print(f)
+			}
+			log.Fatalf("%d regression(s) against %s", len(failures), *compare)
+		}
+		log.Printf("no regressions against %s (threshold %.2fx)", *compare, *threshold)
 	}
 }
 
@@ -144,4 +231,48 @@ func bench(name string, fn func(b *testing.B)) BenchRow {
 		BytesPerOp:  res.AllocedBytesPerOp(),
 		Iterations:  res.N,
 	}
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// diff reports regressions of new against old: any allocs/op increase
+// (deterministic, so strict), and ns/op beyond threshold x the old value
+// (loose, to absorb machine differences). Benchmarks present on only one
+// side are reported informationally by the caller's JSON, not gated.
+func diff(old, new Report, threshold float64) []string {
+	prev := make(map[string]BenchRow, len(old.Benchmarks))
+	for _, row := range old.Benchmarks {
+		prev[row.Name] = row
+	}
+	var failures []string
+	for _, row := range new.Benchmarks {
+		base, ok := prev[row.Name]
+		if !ok {
+			continue
+		}
+		if row.AllocsPerOp > base.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf(
+				"REGRESSION %s: allocs/op %d -> %d", row.Name, base.AllocsPerOp, row.AllocsPerOp))
+		}
+		if base.NsPerOp > 0 && row.NsPerOp > base.NsPerOp*threshold {
+			failures = append(failures, fmt.Sprintf(
+				"REGRESSION %s: ns/op %.0f -> %.0f (%.2fx > %.2fx allowed)",
+				row.Name, base.NsPerOp, row.NsPerOp, row.NsPerOp/base.NsPerOp, threshold))
+		} else {
+			log.Printf("%-20s ns/op %10.0f -> %10.0f (%.2fx)  allocs/op %d -> %d",
+				row.Name, base.NsPerOp, row.NsPerOp, row.NsPerOp/base.NsPerOp,
+				base.AllocsPerOp, row.AllocsPerOp)
+		}
+	}
+	return failures
 }

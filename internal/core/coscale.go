@@ -22,7 +22,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"coscale/internal/perf"
 	"coscale/internal/policy"
@@ -36,7 +36,28 @@ type Options struct {
 	// DisableMarginalCache recomputes every marginal on every iteration,
 	// for measuring the value of the Figure 2 caching.
 	DisableMarginalCache bool
+	// DisableTables evaluates candidates directly instead of through the
+	// memoized per-epoch prediction tables (DESIGN.md §10) — bit-identical
+	// by construction, so this exists for the cross-check property test and
+	// for measuring the tables' speedup, not as a behavioral variant.
+	DisableTables bool
 }
+
+// SearchStats counts the work of the most recent Decide call's search walk,
+// for benchmarks and telemetry. Moves is the number of committed frequency
+// moves (iterations that applied a core-group or memory step); Evals is the
+// number of full joint-model evaluations the walk ran (one per candidate
+// memory marginal and one per committed group move). Per-move cost —
+// ns/op divided by Moves — is the scaling figure of merit: the number of
+// moves grows with the core count, so total Decide time conflates walk
+// length with per-step cost (DESIGN.md §10).
+type SearchStats struct {
+	Moves int
+	Evals int
+}
+
+// SearchStats returns counters for the last Decide call's search.
+func (c *CoScale) SearchStats() SearchStats { return c.stats }
 
 // CoScale is the coordinated CPU+memory DVFS controller.
 //
@@ -56,13 +77,16 @@ type CoScale struct {
 	ev       *policy.Evaluator // Decide-time evaluator, reset per call
 	obsEv    *policy.Evaluator // Observe-time evaluator for the all-max reference
 	st       searchState
-	avail    []float64 // per-core slack
-	limits   []float64 // per-core slowdown limits
-	best     []int     // best step vector found by the walk
-	group    []int     // cores moved by the chosen group
-	moved    []bool    // membership scratch for repairCoreList
-	tmax     []float64 // all-max reference times for slack accounting
-	identity []int     // thread mapping fallback when ThreadIDs is nil
+	avail    []float64  // per-core slack
+	limits   []float64  // per-core slowdown limits
+	scaled   []float64  // limits with the WithinBound epsilon pre-applied
+	best     []int      // best step vector found by the walk
+	fresh    []coreMarg // repairCoreList scratch: moved cores' new marginals
+	merged   []coreMarg // repairCoreList scratch: merge output
+	tmax     []float64  // all-max reference times for slack accounting
+	identity []int      // thread mapping fallback when ThreadIDs is nil
+
+	stats SearchStats // work counters for the last Decide's search
 }
 
 // New returns a CoScale controller for the given system, or the
@@ -81,8 +105,8 @@ func NewWithOptions(cfg policy.Config, opts Options) (*CoScale, error) {
 		opts:  opts,
 		slack: policy.NewSlackBook(n, cfg.Gamma, cfg.Reserve),
 		last:  policy.Decision{CoreSteps: policy.ZeroSteps(n)},
-		ev:    &policy.Evaluator{},
-		obsEv: &policy.Evaluator{},
+		ev:    &policy.Evaluator{UseTables: !opts.DisableTables},
+		obsEv: &policy.Evaluator{UseTables: !opts.DisableTables},
 		st: searchState{
 			steps:    make([]int, n),
 			coreList: make([]coreMarg, 0, n),
@@ -90,8 +114,8 @@ func NewWithOptions(cfg policy.Config, opts Options) (*CoScale, error) {
 		avail:    make([]float64, n),
 		limits:   make([]float64, n),
 		best:     make([]int, n),
-		group:    make([]int, 0, n),
-		moved:    make([]bool, n),
+		fresh:    make([]coreMarg, 0, n),
+		merged:   make([]coreMarg, 0, n),
 		tmax:     make([]float64, n),
 		identity: make([]int, n),
 	}, nil
@@ -104,6 +128,8 @@ func (c *CoScale) Name() string {
 		return "CoScale-NoGrouping"
 	case c.opts.DisableMarginalCache:
 		return "CoScale-NoCache"
+	case c.opts.DisableTables:
+		return "CoScale-NoTables"
 	default:
 		return "CoScale"
 	}
@@ -111,6 +137,17 @@ func (c *CoScale) Name() string {
 
 // Slack exposes the per-program slack trackers (for tests and telemetry).
 func (c *CoScale) Slack() *policy.SlackBook { return c.slack }
+
+// Reset returns the controller to its freshly constructed state — slack
+// bookkeeping forgotten, last decision back at all-max — while keeping every
+// scratch buffer, so repeated runs over one controller are bit-identical to
+// runs over fresh controllers without reallocating (the Engine.Reset
+// pattern; benchmarks use it to rewind between iterations).
+func (c *CoScale) Reset() {
+	c.slack.Reset()
+	c.last.CoreSteps = perf.ResizeInts(c.last.CoreSteps, c.cfg.NCores)
+	c.last.MemStep = 0
+}
 
 // threadsFor returns the thread-on-core mapping without allocating
 // (Observation.CoreThreads builds a fresh identity slice when ThreadIDs is
@@ -136,10 +173,10 @@ func (c *CoScale) threadsFor(obs policy.Observation) []int {
 //hot:path
 func (c *CoScale) Observe(epoch policy.Observation) {
 	c.obsEv.Reset(c.cfg, epoch)
-	base := c.obsEv.Baseline()
+	base := c.obsEv.BaselineTPI()
 	c.tmax = perf.ResizeFloats(c.tmax, len(epoch.Cores))
 	for i := range epoch.Cores {
-		c.tmax[i] = float64(epoch.Cores[i].Instructions) * base.TPI[i]
+		c.tmax[i] = float64(epoch.Cores[i].Instructions) * base[i]
 	}
 	c.slack.RecordEpochFor(c.threadsFor(epoch), c.tmax, epoch.Window)
 }
@@ -153,7 +190,8 @@ func (c *CoScale) Decide(obs policy.Observation) policy.Decision {
 	c.ev.Reset(c.cfg, obs)
 	c.avail = c.slack.AvailableInto(c.avail, c.threadsFor(obs))
 	c.limits = c.cfg.LimitsInto(c.limits, c.avail)
-	d := c.search(c.ev, c.limits)
+	c.scaled = policy.ScaleLimits(c.scaled, c.limits)
+	d := c.search(c.ev)
 	c.last.CoreSteps = perf.ResizeInts(c.last.CoreSteps, len(d.CoreSteps))
 	copy(c.last.CoreSteps, d.CoreSteps)
 	c.last.MemStep = d.MemStep
@@ -185,26 +223,21 @@ type marginal struct {
 }
 
 // coreMarg is the locally estimated marginal of stepping one core down.
+// Kept to 32 bytes — the eligibility list is sorted and merged wholesale
+// every group move, so element copies are on the search hot path.
 type coreMarg struct {
-	core      int
-	dTPI      float64 // seconds/instruction added by one step down
-	dPerf     float64 // dTPI / baseline TPI (relative slowdown added)
-	dPower    float64 // watts saved by one step down
-	slowAfter float64 // predicted slowdown vs baseline after the step
+	core   int32
+	pos    int32   // repairCoreList tie-break key (insertion position)
+	dTPI   float64 // seconds/instruction added by one step down
+	dPerf  float64 // dTPI / baseline TPI (relative slowdown added)
+	dPower float64 // watts saved by one step down
 }
 
-// coreMargList sorts ascending by dTPI. It is sorted through a pointer so
-// the interface conversion does not copy (or allocate for) the slice header.
-type coreMargList []coreMarg
-
-func (l *coreMargList) Len() int           { return len(*l) }
-func (l *coreMargList) Less(a, b int) bool { return (*l)[a].dTPI < (*l)[b].dTPI }
-func (l *coreMargList) Swap(a, b int)      { (*l)[a], (*l)[b] = (*l)[b], (*l)[a] }
-
 //hot:path
-func (c *CoScale) search(ev *policy.Evaluator, limits []float64) policy.Decision {
+func (c *CoScale) search(ev *policy.Evaluator) policy.Decision {
 	n := c.cfg.NCores
 	st := &c.st
+	c.stats = SearchStats{}
 	st.steps = perf.ResizeInts(st.steps, n)
 	st.memStep = 0
 	st.memValid, st.coreValid = false, false
@@ -225,12 +258,12 @@ func (c *CoScale) search(ev *policy.Evaluator, limits []float64) policy.Decision
 
 		// Figure 2 lines 4-5: memory marginal, recomputed only on change.
 		if !st.memValid {
-			st.memMarg = c.memoryMarginal(ev, st, limits)
+			st.memMarg = c.memoryMarginal(ev, st)
 			st.memValid = true
 		}
 		// Figure 2 lines 6-8 / Figure 3: core-group marginal.
 		if !st.coreValid {
-			c.rebuildCoreList(ev, st, limits)
+			c.rebuildCoreList(ev, st)
 			st.coreValid = true
 		}
 		groupLen, groupMarg := c.bestGroup(st)
@@ -243,12 +276,12 @@ func (c *CoScale) search(ev *policy.Evaluator, limits []float64) policy.Decision
 			if st.memMarg.utility >= groupMarg.utility {
 				c.applyMemory(st)
 			} else {
-				c.applyGroup(ev, st, groupLen, limits)
+				c.applyGroup(ev, st, groupLen)
 			}
 		case memOK:
 			c.applyMemory(st)
 		case coreOK:
-			c.applyGroup(ev, st, groupLen, limits)
+			c.applyGroup(ev, st, groupLen)
 		default:
 			// Line 2: nothing can scale further.
 			iter = maxIters
@@ -258,7 +291,7 @@ func (c *CoScale) search(ev *policy.Evaluator, limits []float64) policy.Decision
 		// Joint feasibility backstop: local core estimates are
 		// conservative, but re-verify and revert if the joint model
 		// disagrees (can happen right after a stale-cache move).
-		if !policy.WithinBound(st.cur, limits) {
+		if !policy.WithinBoundScaled(st.cur, c.scaled) {
 			break
 		}
 		// Line 20: record SER for the configuration just reached.
@@ -277,12 +310,13 @@ func (c *CoScale) search(ev *policy.Evaluator, limits []float64) policy.Decision
 // is left in st.memEval for applyMemory.
 //
 //hot:path
-func (c *CoScale) memoryMarginal(ev *policy.Evaluator, st *searchState, limits []float64) marginal {
+func (c *CoScale) memoryMarginal(ev *policy.Evaluator, st *searchState) marginal {
 	if c.cfg.MemLadder.Bottom(st.memStep) {
 		return marginal{}
 	}
+	c.stats.Evals++
 	ev.EvaluateInto(&st.memEval, st.steps, st.memStep+1)
-	if !policy.WithinBound(st.memEval, limits) {
+	if !policy.WithinBoundScaled(st.memEval, c.scaled) {
 		return marginal{}
 	}
 	dPower := st.cur.Power.Total - st.memEval.Power.Total
@@ -303,49 +337,79 @@ func (c *CoScale) memoryMarginal(ev *policy.Evaluator, st *searchState, limits [
 // caching disabled.)
 //
 //hot:path
-func (c *CoScale) rebuildCoreList(ev *policy.Evaluator, st *searchState, limits []float64) {
+func (c *CoScale) rebuildCoreList(ev *policy.Evaluator, st *searchState) {
 	list := st.coreList[:0]
 	for i := 0; i < c.cfg.NCores; i++ {
-		if m, ok := c.coreMarginal(ev, st, limits, i); ok {
+		if m, ok := c.coreMarginal(ev, st, i); ok {
 			list = append(list, m)
 		}
 	}
 	st.coreList = list
-	sort.Sort((*coreMargList)(&st.coreList))
+	// Unstable sort ascending by dTPI. cmpDTPI's less-than outcomes are
+	// exactly the comparisons sort.Sort's Less-based pdqsort would make, and
+	// both run the same pdqsort template, so the resulting permutation —
+	// including how dTPI ties land — is unchanged; SortFunc just avoids the
+	// interface-dispatch Swap/Less of a sort.Interface.
+	slices.SortFunc(st.coreList, cmpDTPI)
+}
+
+// cmpDTPI orders core marginals ascending by dTPI (ties compare equal).
+func cmpDTPI(a, b coreMarg) int {
+	switch {
+	case a.dTPI < b.dTPI:
+		return -1
+	case b.dTPI < a.dTPI:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // coreMarginal locally estimates the effect of stepping core i down once,
 // holding the memory system at its current modelled latency.
 //
 //hot:path
-func (c *CoScale) coreMarginal(ev *policy.Evaluator, st *searchState, limits []float64, i int) (coreMarg, bool) {
+func (c *CoScale) coreMarginal(ev *policy.Evaluator, st *searchState, i int) (coreMarg, bool) {
 	step := st.steps[i]
 	if c.cfg.CoreLadder.Bottom(step) {
 		return coreMarg{}, false
 	}
-	stats := ev.Stats()[i]
 	lat := st.cur.MemLoad.Latency
-	hzCur, hzNext := c.cfg.CoreLadder.Hz(step), c.cfg.CoreLadder.Hz(step+1)
-	tpiCur := stats.TPI(hzCur, lat)
-	tpiNext := stats.TPI(hzNext, lat)
-	base := ev.Baseline().TPI[i]
+	var tpiCur, tpiNext, pCur, pNext float64
+	if ev.UseTables {
+		// Memoized path: the table lookups are bit-identical to the direct
+		// CoreStats.TPI/CoreModel.Power calls below (DESIGN.md §10).
+		tbl, _ := ev.Tables()
+		tpiCur = tbl.TPIAt(i, step, lat)
+		tpiNext = tbl.TPIAt(i, step+1, lat)
+	} else {
+		stats := ev.Stats()[i]
+		tpiCur = stats.TPI(c.cfg.CoreLadder.Hz(step), lat)
+		tpiNext = stats.TPI(c.cfg.CoreLadder.Hz(step+1), lat)
+	}
+	base := ev.BaselineTPI()[i]
 	slowAfter := tpiNext / base
-	if slowAfter > limits[i]*(1+1e-12) {
+	if slowAfter > c.scaled[i] {
 		return coreMarg{}, false
 	}
-	mix := ev.ObsCore(i).Mix
-	pCur := c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step), hzCur, 1/tpiCur, mix)
-	pNext := c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step+1), hzNext, 1/tpiNext, mix)
+	if ev.UseTables {
+		_, ptbl := ev.Tables()
+		pCur = ptbl.PowerAt(step, i, 1/tpiCur)
+		pNext = ptbl.PowerAt(step+1, i, 1/tpiNext)
+	} else {
+		mix := ev.ObsCore(i).Mix
+		pCur = c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step), c.cfg.CoreLadder.Hz(step), 1/tpiCur, mix)
+		pNext = c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step+1), c.cfg.CoreLadder.Hz(step+1), 1/tpiNext, mix)
+	}
 	cpuScale := c.cfg.Power.CPUScale
 	if cpuScale <= 0 {
 		cpuScale = 1
 	}
 	return coreMarg{
-		core:      i,
-		dTPI:      tpiNext - tpiCur,
-		dPerf:     (tpiNext - tpiCur) / base,
-		dPower:    (pCur - pNext) * cpuScale,
-		slowAfter: slowAfter,
+		core:   int32(i),
+		dTPI:   tpiNext - tpiCur,
+		dPerf:  (tpiNext - tpiCur) / base,
+		dPower: (pCur - pNext) * cpuScale,
 	}, true
 }
 
@@ -384,6 +448,7 @@ func (c *CoScale) bestGroup(st *searchState) (int, marginal) {
 //
 //hot:path
 func (c *CoScale) applyMemory(st *searchState) {
+	c.stats.Moves++
 	st.memStep++
 	st.cur, st.memEval = st.memEval, st.cur
 	st.memValid = false // memory frequency changed: marginal stale
@@ -396,55 +461,86 @@ func (c *CoScale) applyMemory(st *searchState) {
 // the sorted eligibility list, then repairs the list (Figure 3 lines 1-2).
 //
 //hot:path
-func (c *CoScale) applyGroup(ev *policy.Evaluator, st *searchState, groupLen int, limits []float64) {
-	c.group = c.group[:0]
+func (c *CoScale) applyGroup(ev *policy.Evaluator, st *searchState, groupLen int) {
 	for i := 0; i < groupLen; i++ {
-		c.group = append(c.group, st.coreList[i].core)
+		st.steps[int(st.coreList[i].core)]++
 	}
-	for _, i := range c.group {
-		st.steps[i]++
-	}
+	c.stats.Moves++
+	c.stats.Evals++
 	ev.EvaluateInto(&st.cur, st.steps, st.memStep)
 	st.memValid = false // traffic changed; memory marginal must be re-evaluated
-	c.repairCoreList(ev, st, c.group, limits)
+	c.repairCoreList(ev, st, groupLen)
 }
 
 // repairCoreList removes the moved cores and re-inserts their fresh
-// marginals, keeping the ascending dTPI order without a full sort.
+// marginals, keeping the ascending dTPI order without a full sort. The
+// moved cores are always the first groupLen entries of the list (groups are
+// prefixes of the sorted eligibility list, Figure 3), so the kept survivors
+// are simply the tail beyond the prefix — no membership flags or compaction
+// pass needed. The result is element-for-element identical to inserting
+// each fresh marginal (in prefix order) at the first position whose dTPI is
+// >= its own — the original one-at-a-time repair — but costs one merge pass
+// instead of an O(moved·cores) cascade of insertion copies: under that
+// insertion rule a fresh marginal lands before every equal-dTPI element
+// already present, so equal-dTPI fresh marginals end up in reverse moved
+// order and ahead of equal-dTPI kept ones, which is exactly what the
+// reversed-order stable sort plus the fresh-first-on-ties merge below
+// produce.
 //
 //hot:path
-func (c *CoScale) repairCoreList(ev *policy.Evaluator, st *searchState, moved []int, limits []float64) {
-	for i := range c.moved {
-		c.moved[i] = false
-	}
-	for _, i := range moved {
-		c.moved[i] = true
-	}
-	kept := st.coreList[:0]
-	for _, m := range st.coreList {
-		if !c.moved[m.core] {
-			kept = append(kept, m)
+func (c *CoScale) repairCoreList(ev *policy.Evaluator, st *searchState, groupLen int) {
+	kept := st.coreList[groupLen:]
+	fresh := c.fresh[:0]
+	for j := 0; j < groupLen; j++ {
+		if m, ok := c.coreMarginal(ev, st, int(st.coreList[j].core)); ok {
+			m.pos = int32(j)
+			fresh = append(fresh, m)
 		}
 	}
-	st.coreList = kept
-	for _, i := range moved {
-		if m, ok := c.coreMarginal(ev, st, limits, i); ok {
-			// First position whose dTPI is >= m.dTPI (inline binary
-			// search: the sort.Search closure would allocate).
-			lo, hi := 0, len(st.coreList)
-			for lo < hi {
-				mid := int(uint(lo+hi) >> 1)
-				if st.coreList[mid].dTPI >= m.dTPI {
-					hi = mid
-				} else {
-					lo = mid + 1
-				}
-			}
-			st.coreList = append(st.coreList, coreMarg{})
-			copy(st.coreList[lo+1:], st.coreList[lo:])
-			st.coreList[lo] = m
-		}
+	c.fresh = fresh
+	if len(fresh) == 0 {
+		// Shift the survivors down in place; order is already correct.
+		st.coreList = append(st.coreList[:0], kept...)
+		st.coreValid = true
+		return
 	}
+	// (dTPI asc, pos desc) is a strict total order over the fresh marginals,
+	// so the unstable sort is deterministic — and moved order tracks the old
+	// ascending-dTPI list, leaving fresh nearly sorted already.
+	slices.SortFunc(fresh, func(a, b coreMarg) int {
+		switch {
+		case a.dTPI < b.dTPI:
+			return -1
+		case a.dTPI > b.dTPI:
+			return 1
+		default:
+			return int(b.pos) - int(a.pos)
+		}
+	})
+	if len(kept) == 0 {
+		// The whole list moved (a full-prefix group): the sorted fresh
+		// marginals ARE the new list. Swap backing arrays instead of copying.
+		old := st.coreList
+		st.coreList = fresh
+		c.fresh = old[:0]
+		st.coreValid = true
+		return
+	}
+	out := c.merged[:0]
+	ki := 0
+	for _, f := range fresh {
+		for ki < len(kept) && kept[ki].dTPI < f.dTPI {
+			out = append(out, kept[ki])
+			ki++
+		}
+		out = append(out, f)
+	}
+	out = append(out, kept[ki:]...)
+	// The merged scratch becomes the live list; the old list's backing array
+	// becomes the next repair's merge scratch.
+	old := st.coreList
+	st.coreList = out
+	c.merged = old[:0]
 	st.coreValid = true
 }
 

@@ -150,3 +150,49 @@ func clampUtil(u, max float64) float64 {
 	}
 	return u
 }
+
+// ModelCache memoizes ModelAt over a ladder of candidate bus frequencies, so
+// per-epoch search paths can evaluate many operating points without
+// re-deriving the per-frequency service-time constants. ModelAt is a pure
+// function of (Params, busHz), so a cached model is bit-identical to a fresh
+// one. Models are built lazily on first use; backing arrays are reused
+// across Resets, so the steady state allocates nothing. Not safe for
+// concurrent use.
+type ModelCache struct {
+	p      Params
+	hz     []float64
+	models []LoadModel
+	built  []bool
+}
+
+// Reset re-points the cache at memory parameters p and the candidate bus
+// frequencies hz (index = ladder step), invalidating every memoized model.
+//
+//hot:path
+func (c *ModelCache) Reset(p Params, hz []float64) {
+	c.p = p
+	c.hz = hz
+	steps := len(hz)
+	if cap(c.models) < steps {
+		c.models = make([]LoadModel, steps) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
+	}
+	c.models = c.models[:steps]
+	if cap(c.built) < steps {
+		c.built = make([]bool, steps) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
+	}
+	c.built = c.built[:steps]
+	for s := range c.built {
+		c.built[s] = false
+	}
+}
+
+// At returns the memoized model for ladder step s, building it on first use.
+//
+//hot:path
+func (c *ModelCache) At(s int) LoadModel {
+	if !c.built[s] {
+		c.models[s] = c.p.ModelAt(c.hz[s])
+		c.built[s] = true
+	}
+	return c.models[s]
+}

@@ -124,71 +124,193 @@ func (sv *Solver) SolveInto(res *Result, cores []CoreStats, coreHz []float64, bu
 	}
 
 	n := len(cores)
-	res.TPI = ResizeFloats(res.TPI, n)
-	res.IPS = ResizeFloats(res.IPS, n)
-	res.MemRate = 0
 
 	// Hoist everything constant across iterations: the memory service times
 	// at busHz, and each core's latency-independent TPI terms. The remaining
 	// per-iteration arithmetic — fixed + (Beta*latency)/mlp — performs the
 	// same operations on the same values as CoreStats.TPI, so the fixed
 	// point reached is bit-identical.
-	sv.fixed = ResizeFloats(sv.fixed, n)
-	sv.beta = ResizeFloats(sv.beta, n)
-	sv.mlpn = ResizeFloats(sv.mlpn, n)
-	sv.mpi = ResizeFloats(sv.mpi, n)
+	sv.fixed = GrowFloats(sv.fixed, n)
+	sv.beta = GrowFloats(sv.beta, n)
+	sv.mlpn = GrowFloats(sv.mlpn, n)
+	sv.mpi = GrowFloats(sv.mpi, n)
+	allMLP1 := true
 	for i, c := range cores {
 		sv.beta[i] = c.Beta
 		sv.mpi[i] = c.MemPerInstr
 		if coreHz[i] <= 0 {
-			continue // mlpn[i] stays 0: the infinite-TPI sentinel
+			sv.mlpn[i] = 0 // the infinite-TPI sentinel
+			allMLP1 = false
+			continue
 		}
 		mlp := c.MLP
 		if mlp < 1 {
 			mlp = 1
 		}
+		if mlp != 1 { //lint:ignore floateq exact specialization dispatch: x/1.0 == x in IEEE 754, so the MLP==1 fast path is bitwise-equal by construction
+			allMLP1 = false
+		}
 		sv.mlpn[i] = mlp
 		sv.fixed[i] = c.CPIBase/coreHz[i] + c.Alpha*c.StallL2
 	}
 	model := sv.Mem.ModelAt(busHz)
+	sv.iterate(res, model, sv.fixed, sv.beta, sv.mlpn, sv.mpi, allMLP1)
+}
 
-	// Start from the unloaded latency.
+// iterate runs the damped fixed-point iteration over prepared per-core
+// constant arrays. It is the single solver core shared by SolveInto (direct
+// prologue) and SolveTable (memoized table gather), which is what makes the
+// two entry points bit-identical by construction.
+//
+// The loop is written for speed — it is the dominant cost of every search
+// step at large core counts — but every transformation relative to the
+// naive form is exact:
+//
+//   - iteration 0 never reads the previous TPI (the original zero-filled
+//     res.TPI forced maxRel = 1 there, and the loop cannot break before
+//     iteration 1 anyway), so it runs as a separate screen-free pass and
+//     res.TPI/res.IPS need not be zeroed between solves;
+//   - when every core has MLP == 1 the division by mlp is skipped — IEEE 754
+//     guarantees x/1.0 == x bitwise;
+//   - the convergence test replaces the per-core division rel = |Δ|/prev
+//     with two multiply-compares against tol·(1∓1e-12)·prev: strictly inside
+//     the guard band the exact quotient provably compares the same way
+//     (rounding error is ~2⁻⁵², four orders below the band), and on the
+//     band the original division decides. The flag it computes is exactly
+//     "maxRel < tol": any prev ≤ 0 core pinned maxRel to at least 1, which
+//     blocks convergence iff !(1 < tol) (hoisted as oneBlocksConv).
+//
+//hot:path
+func (sv *Solver) iterate(res *Result, model memsys.LoadModel, fixed, beta, mlpn, mpi []float64, allMLP1 bool) {
+	tol := sv.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	maxIter := sv.MaxIter
+	if maxIter <= 0 {
+		maxIter = 60
+	}
+	n := len(fixed)
+	res.TPI = GrowFloats(res.TPI, n)
+	res.IPS = GrowFloats(res.IPS, n)
+	tpis := res.TPI[:n]
+	ips := res.IPS[:n]
+	beta = beta[:n]
+	mlpn = mlpn[:n]
+	mpi = mpi[:n]
+
+	// Iteration 0: compute the unloaded-latency point; no convergence screen.
 	load := model.Evaluate(0)
-	var iter int
-	for iter = 0; iter < maxIter; iter++ {
-		rate := 0.0
-		maxRel := 0.0
-		lat := load.Latency
-		for i := range sv.fixed {
-			var tpi float64
-			if m := sv.mlpn[i]; m > 0 {
-				tpi = sv.fixed[i] + sv.beta[i]*lat/m
-			} else {
-				tpi = math.Inf(1)
+	lat := load.Latency
+	rate := 0.0
+	if allMLP1 {
+		for i := 0; i < n; i++ {
+			t := fixed[i] + beta[i]*lat
+			tpis[i] = t
+			// No +Inf screen needed: for t = +Inf, 1/t is exactly +0.0,
+			// the same value the screened branch would leave in v.
+			v := 0.0
+			if t > 0 {
+				v = 1 / t
 			}
-			if prev := res.TPI[i]; prev > 0 {
-				rel := math.Abs(tpi-prev) / prev
-				if rel > maxRel {
-					maxRel = rel
+			ips[i] = v
+			rate += v * mpi[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			var t float64
+			if m := mlpn[i]; m > 0 {
+				t = fixed[i] + beta[i]*lat/m
+			} else {
+				t = math.Inf(1)
+			}
+			tpis[i] = t
+			// No +Inf screen needed: for t = +Inf, 1/t is exactly +0.0,
+			// the same value the screened branch would leave in v.
+			v := 0.0
+			if t > 0 {
+				v = 1 / t
+			}
+			ips[i] = v
+			rate += v * mpi[i]
+		}
+	}
+	res.MemRate = rate
+	load = model.Evaluate(rate)
+
+	oneBlocksConv := !(1 < tol)
+	tolLo := tol * (1 - 1e-12)
+	tolHi := tol * (1 + 1e-12)
+	iter := 1
+	for ; iter < maxIter; iter++ {
+		rate = 0.0
+		conv := true
+		lat = load.Latency
+		if allMLP1 {
+			for i := 0; i < n; i++ {
+				prev := tpis[i]
+				t := fixed[i] + beta[i]*lat
+				tpis[i] = t
+				if conv {
+					if prev > 0 {
+						d := t - prev
+						if d < 0 {
+							d = -d
+						}
+						if !(d < tolLo*prev) {
+							if d > tolHi*prev || d/prev >= tol {
+								conv = false
+							}
+						}
+					} else if oneBlocksConv {
+						conv = false
+					}
 				}
-			} else {
-				maxRel = 1
+				v := 0.0
+				if t > 0 { // t = +Inf yields exactly +0.0, no screen needed
+					v = 1 / t
+				}
+				ips[i] = v
+				rate += v * mpi[i]
 			}
-			res.TPI[i] = tpi
-			if tpi > 0 && !math.IsInf(tpi, 1) {
-				res.IPS[i] = 1 / tpi
-			} else {
-				res.IPS[i] = 0
+		} else {
+			for i := 0; i < n; i++ {
+				prev := tpis[i]
+				var t float64
+				if m := mlpn[i]; m > 0 {
+					t = fixed[i] + beta[i]*lat/m
+				} else {
+					t = math.Inf(1)
+				}
+				tpis[i] = t
+				if conv {
+					if prev > 0 {
+						d := t - prev
+						if d < 0 {
+							d = -d
+						}
+						if !(d < tolLo*prev) {
+							if d > tolHi*prev || d/prev >= tol {
+								conv = false
+							}
+						}
+					} else if oneBlocksConv {
+						conv = false
+					}
+				}
+				v := 0.0
+				if t > 0 { // t = +Inf yields exactly +0.0, no screen needed
+					v = 1 / t
+				}
+				ips[i] = v
+				rate += v * mpi[i]
 			}
-			rate += res.IPS[i] * sv.mpi[i]
 		}
 		// Damp the rate to avoid oscillation near saturation.
-		if iter > 0 {
-			rate = 0.5*rate + 0.5*res.MemRate
-		}
+		rate = 0.5*rate + 0.5*res.MemRate
 		res.MemRate = rate
 		load = model.Evaluate(rate)
-		if iter > 0 && maxRel < tol {
+		if conv {
 			break
 		}
 	}
@@ -210,6 +332,17 @@ func ResizeFloats(s []float64, n int) []float64 {
 	return s
 }
 
+// GrowFloats returns s resized to length n, reusing its backing array when
+// the capacity suffices and allocating otherwise — like ResizeFloats but
+// WITHOUT zeroing. For buffers every element of which is written before it
+// is read (the solver's working arrays), the clear is pure overhead.
+func GrowFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // ResizeInts is ResizeFloats for int slices.
 func ResizeInts(s []int, n int) []int {
 	if cap(s) < n {
@@ -220,6 +353,152 @@ func ResizeInts(s []int, n int) []int {
 		s[i] = 0
 	}
 	return s
+}
+
+// StepTable memoizes, per candidate core-frequency step, every core's
+// latency-independent TPI term fixed[i] = CPIBase/Hz(step) + Alpha·StallL2,
+// together with the epoch-constant per-core arrays the fixed-point iteration
+// reads (beta, clamped MLP, memory traffic per instruction). During one
+// decision the search evaluates dozens of operating points over the same
+// statistics; the table turns each evaluation's O(cores) prologue into an
+// incremental gather that touches only the cores whose step changed since
+// the previous evaluation — zero of them on a memory-frequency move.
+//
+// Columns are built lazily on first use and their backing arrays are reused
+// across epochs, so the steady state allocates nothing. A StepTable is not
+// safe for concurrent use.
+type StepTable struct {
+	stats []CoreStats // per-core statistics (aliases the caller's epoch buffer)
+	hz    []float64   // candidate core frequency per ladder step
+
+	fixedCol [][]float64 // [step][core] CPIBase/hz + Alpha*StallL2
+	built    []bool      // fixedCol[step] is valid
+
+	beta    []float64
+	mlpn    []float64 // MLP clamped to >= 1
+	mpi     []float64
+	allMLP1 bool
+
+	fixed []float64 // working row: fixedCol[cur[i]][i]
+	cur   []int     // step the working row reflects per core; -1 = unset
+}
+
+// Reset re-points the table at a new epoch's statistics and candidate
+// frequencies, invalidating every memoized column while reusing all backing
+// arrays. stats is retained (not copied) and must stay unchanged until the
+// next Reset; every hz must be positive (a frequency ladder guarantees it).
+//
+//hot:path
+func (t *StepTable) Reset(stats []CoreStats, stepHz []float64) {
+	n := len(stats)
+	t.stats = stats
+	t.hz = stepHz
+	steps := len(stepHz)
+	if cap(t.fixedCol) < steps {
+		t.fixedCol = make([][]float64, steps) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
+	}
+	t.fixedCol = t.fixedCol[:steps]
+	if cap(t.built) < steps {
+		t.built = make([]bool, steps) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
+	}
+	t.built = t.built[:steps]
+	for s := range t.built {
+		t.built[s] = false
+	}
+	t.beta = GrowFloats(t.beta, n)
+	t.mlpn = GrowFloats(t.mlpn, n)
+	t.mpi = GrowFloats(t.mpi, n)
+	t.fixed = GrowFloats(t.fixed, n)
+	if cap(t.cur) < n {
+		t.cur = make([]int, n) //hot:alloc-ok capacity miss: runs once until the caller's scratch is warm
+	}
+	t.cur = t.cur[:n]
+	allMLP1 := true
+	for i, c := range stats {
+		t.beta[i] = c.Beta
+		t.mpi[i] = c.MemPerInstr
+		mlp := c.MLP
+		if mlp < 1 {
+			mlp = 1
+		}
+		if mlp != 1 { //lint:ignore floateq exact specialization dispatch, see Solver.iterate
+			allMLP1 = false
+		}
+		t.mlpn[i] = mlp
+		t.cur[i] = -1
+	}
+	t.allMLP1 = allMLP1
+}
+
+// FixedCol returns the memoized latency-independent TPI column for ladder
+// step s, building it on first use after a Reset.
+//
+//hot:path
+func (t *StepTable) FixedCol(s int) []float64 {
+	if !t.built[s] {
+		t.buildCol(s)
+	}
+	return t.fixedCol[s]
+}
+
+// buildCol fills one column. Runs at most Steps() times per epoch (cold
+// relative to the per-evaluation paths), reusing the column's backing array.
+func (t *StepTable) buildCol(s int) {
+	col := t.fixedCol[s]
+	if cap(col) < len(t.stats) {
+		col = make([]float64, len(t.stats))
+	}
+	col = col[:len(t.stats)]
+	hz := t.hz[s]
+	for i, c := range t.stats {
+		col[i] = c.CPIBase/hz + c.Alpha*c.StallL2
+	}
+	t.fixedCol[s] = col
+	t.built[s] = true
+}
+
+// TPIAt predicts core i's TPI at ladder step s under memory latency lat —
+// bit-identical to stats[i].TPI(hz[s], lat): the memoized column holds the
+// identical first two terms, and the third is the same expression on the
+// same values.
+//
+//hot:path
+func (t *StepTable) TPIAt(i, s int, lat float64) float64 {
+	return t.FixedCol(s)[i] + t.beta[i]*lat/t.mlpn[i]
+}
+
+// gather updates the working fixed row to the given step vector, touching
+// only the cores whose step changed since the previous gather.
+//
+//hot:path
+func (t *StepTable) gather(steps []int) {
+	fixed := t.fixed
+	cur := t.cur
+	for i, s := range steps {
+		if cur[i] == s {
+			continue
+		}
+		cur[i] = s
+		fixed[i] = t.FixedCol(s)[i]
+	}
+}
+
+// SolveTable is SolveInto drawing its per-core constants from a memoized
+// StepTable instead of recomputing them: the result is bit-identical to
+// SolveInto(res, tbl.stats, hzOf(steps), busHz) when model was built from
+// the same memory parameters at busHz (memsys.Params.ModelAt is a pure
+// function of its inputs). The search hot path pairs it with a
+// memsys.ModelCache so a candidate evaluation performs no per-core model
+// preparation at all.
+//
+//hot:path
+func (sv *Solver) SolveTable(res *Result, tbl *StepTable, steps []int, model memsys.LoadModel) {
+	if len(steps) != len(tbl.stats) {
+		//lint:ignore nopanic caller bug, not an input error: the step vector and the table are built pairwise by the evaluator
+		panic("perf: steps and table length mismatch")
+	}
+	tbl.gather(steps)
+	sv.iterate(res, model, tbl.fixed, tbl.beta, tbl.mlpn, tbl.mpi, tbl.allMLP1)
 }
 
 // SolveUniform is a convenience wrapper for configurations where all cores

@@ -142,6 +142,12 @@ type Hardened struct {
 	deficit []float64
 
 	zeros []int // owned all-max step vector backing failsafe decisions
+
+	// deficitEv and tmax are the persistent evaluator and scratch behind
+	// recordDeficit's per-epoch all-max reference estimate, so the watchdog
+	// adds no steady-state allocations to the epoch loop.
+	deficitEv *Evaluator
+	tmax      []float64
 }
 
 // Harden wraps inner with a watchdog using default options.
@@ -352,7 +358,12 @@ func (h *Hardened) recordDeficit(epoch Observation) {
 	if n := len(epoch.Cores); n > len(h.zeros) {
 		h.zeros = make([]int, n)
 	}
-	tMax := TMaxForEpoch(h.cfg, epoch, h.zeros[:len(epoch.Cores)], 0)
+	if h.deficitEv == nil {
+		h.deficitEv = &Evaluator{UseTables: true}
+	}
+	h.deficitEv.Reset(h.cfg, epoch)
+	h.tmax = h.deficitEv.TMaxInto(h.tmax, h.zeros[:len(epoch.Cores)], 0)
+	tMax := h.tmax
 	threads := epoch.CoreThreads()
 	limit := h.opts.DeficitEpochs * h.cfg.Gamma * h.cfg.EpochLen.Seconds()
 	violated := false

@@ -180,6 +180,13 @@ type Evaluator struct {
 	Cfg    Config
 	Solver *perf.Solver
 
+	// UseTables switches candidate evaluation onto the memoized per-epoch
+	// prediction tables (DESIGN.md §10): bit-identical results, but each
+	// evaluation's O(cores) model preparation collapses to an incremental
+	// gather of the cores whose step changed. Set before the first Reset
+	// (CoScale sets it unless core.Options.DisableTables asks otherwise).
+	UseTables bool
+
 	stats      []perf.CoreStats
 	obs        Observation
 	busyPerReq float64 // measured rank-busy time per request, for power prediction
@@ -191,6 +198,19 @@ type Evaluator struct {
 	hz       []float64
 	cores    []power.CoreOp
 	maxSteps []int
+	tmaxEval Eval
+
+	// Memoized per-epoch prediction tables (active when UseTables is set)
+	// plus the step-indexed ladder columns they are built over.
+	tbl       perf.StepTable
+	ptbl      power.CoreTable
+	memModels memsys.ModelCache
+	mixes     []trace.InstrMix
+	l2pi      []float64 // L2PerInstr per core
+	coreHzTab []float64 // CoreLadder Hz/Volts per step
+	coreVTab  []float64
+	memHzTab  []float64 // MemLadder Hz/Volts per step
+	memVTab   []float64
 }
 
 // Eval is the predicted outcome of one frequency combination.
@@ -238,6 +258,9 @@ func (ev *Evaluator) Reset(cfg Config, obs Observation) {
 		ev.busyPerReq = obs.BusyFrac / obs.MemRate
 	}
 	ev.maxSteps = perf.ResizeInts(ev.maxSteps, n)
+	if ev.UseTables {
+		ev.resetTables()
+	}
 	// Clear the stale baseline so finish() sees no reference to divide by
 	// (slowdowns come out exactly 1, as for a brand-new evaluator).
 	ev.baseline.TPI = ev.baseline.TPI[:0]
@@ -245,8 +268,49 @@ func (ev *Evaluator) Reset(cfg Config, obs Observation) {
 	ev.baseline.SER = 1
 }
 
+// resetTables re-points the memoized prediction tables at the new epoch:
+// the step-indexed ladder columns, the per-core instruction mixes and L2
+// rates the power path needs, and the three component tables themselves.
+// Every column is invalidated; backing arrays are reused.
+//
+//hot:path
+func (ev *Evaluator) resetTables() {
+	n := len(ev.obs.Cores)
+	ev.mixes = resizeMixes(ev.mixes, n)
+	ev.l2pi = perf.GrowFloats(ev.l2pi, n)
+	for i := range ev.obs.Cores {
+		ev.mixes[i] = ev.obs.Cores[i].Mix
+		ev.l2pi[i] = ev.obs.Cores[i].L2PerInstr
+	}
+	cl, ml := ev.Cfg.CoreLadder, ev.Cfg.MemLadder
+	cs, ms := cl.Steps(), ml.Steps()
+	ev.coreHzTab = perf.GrowFloats(ev.coreHzTab, cs)
+	ev.coreVTab = perf.GrowFloats(ev.coreVTab, cs)
+	for s := 0; s < cs; s++ {
+		p := cl.Point(s)
+		ev.coreHzTab[s] = p.Hz
+		ev.coreVTab[s] = p.Volts
+	}
+	ev.memHzTab = perf.GrowFloats(ev.memHzTab, ms)
+	ev.memVTab = perf.GrowFloats(ev.memVTab, ms)
+	for s := 0; s < ms; s++ {
+		p := ml.Point(s)
+		ev.memHzTab[s] = p.Hz
+		ev.memVTab[s] = p.Volts
+	}
+	ev.tbl.Reset(ev.stats, ev.coreHzTab)
+	ev.ptbl.Reset(ev.Cfg.Power.Core, ev.coreHzTab, ev.coreVTab, ev.mixes)
+	ev.memModels.Reset(ev.Cfg.Mem, ev.memHzTab)
+}
+
 // Baseline returns the all-max evaluation (the SER denominator).
 func (ev *Evaluator) Baseline() Eval { return ev.baseline }
+
+// BaselineTPI returns the all-max baseline's per-core TPI directly, sparing
+// hot-path callers the Eval struct copy a Baseline() call would make.
+//
+//hot:path
+func (ev *Evaluator) BaselineTPI() []float64 { return ev.baseline.TPI }
 
 // Stats returns the counter-derived per-core statistics in use.
 func (ev *Evaluator) Stats() []perf.CoreStats { return ev.stats }
@@ -342,6 +406,10 @@ func (ev *Evaluator) coreHz(coreSteps []int) []float64 {
 //
 //hot:path
 func (ev *Evaluator) evaluateInto(dst *Eval, coreSteps []int, memStep int) {
+	if ev.UseTables {
+		ev.evaluateTablesInto(dst, coreSteps, memStep)
+		return
+	}
 	hz := ev.coreHz(coreSteps)
 	busHz := ev.Cfg.MemLadder.Hz(memStep)
 	ev.Solver.SolveInto(&ev.solveRes, ev.stats, hz, busHz)
@@ -353,6 +421,107 @@ func (ev *Evaluator) evaluateInto(dst *Eval, coreSteps []int, memStep int) {
 	dst.SER = 0
 	dst.MemLoad = ev.solveRes.Mem
 	ev.finish(dst, coreSteps, hz, memStep, ev.solveRes.MemRate)
+}
+
+// evaluateTablesInto is evaluateInto on the memoized-table path: the solver
+// gathers its per-core constants incrementally from the StepTable, the
+// memory queueing model comes from the ModelCache, and finishTables sums
+// per-core power from the CoreTable. Bit-identity with the direct path is
+// argued term by term in DESIGN.md §10 and enforced by the property test in
+// table_test.go.
+//
+//hot:path
+func (ev *Evaluator) evaluateTablesInto(dst *Eval, coreSteps []int, memStep int) {
+	ev.Solver.SolveTable(&ev.solveRes, &ev.tbl, coreSteps, ev.memModels.At(memStep))
+	n := len(ev.solveRes.TPI)
+	dst.TPI = perf.GrowFloats(dst.TPI, n)
+	copy(dst.TPI, ev.solveRes.TPI)
+	dst.Slowdown = perf.GrowFloats(dst.Slowdown, n)
+	dst.MaxSlow = 0
+	dst.SER = 0
+	dst.MemLoad = ev.solveRes.Mem
+	ev.finishTables(dst, coreSteps, memStep, ev.solveRes.MemRate)
+}
+
+// finishTables is finish on the memoized-table path. The per-core power sum
+// reuses the solver's already-computed instruction rates (the same
+// 1/TPI-or-zero finish would rederive) and accumulates CoreTable terms in
+// ascending core order — the exact order System.Total sums — before handing
+// the sum to TotalFromCPU.
+//
+//hot:path
+func (ev *Evaluator) finishTables(e *Eval, coreSteps []int, memStep int, memRate float64) {
+	base := ev.baseline.TPI
+	sameLen := len(base) == len(e.TPI)
+	maxSlow := 0.0
+	n := len(coreSteps)
+	tpi, slow := e.TPI[:n], e.Slowdown[:n]
+	ips, l2pi := ev.solveRes.IPS[:n], ev.l2pi[:n]
+	cpu := 0.0
+	l2Rate := 0.0
+	// One fused pass: slowdown/max and the power sums accumulate
+	// independently, so interleaving them changes no per-accumulator
+	// operation order (bit-identical to two passes).
+	for i, s := range coreSteps {
+		sl := 1.0
+		if sameLen && base[i] > 0 {
+			sl = tpi[i] / base[i]
+		}
+		slow[i] = sl
+		if sl > maxSlow {
+			maxSlow = sl
+		}
+		v := ips[i]
+		cpu += ev.ptbl.PowerAt(s, i, v)
+		l2Rate += v * l2pi[i]
+	}
+	if maxSlow <= 0 {
+		maxSlow = 1
+	}
+	e.MaxSlow = maxSlow
+	busy := ev.busyPerReq * memRate
+	if busy > 1 {
+		busy = 1
+	}
+	// Split traffic into reads and writes in the observed proportion; the
+	// energy model treats them symmetrically anyway.
+	u := power.MemUsage{
+		BusHz:     ev.memHzTab[memStep],
+		MCVolts:   ev.memVTab[memStep],
+		ReadRate:  memRate * 0.8,
+		WriteRate: memRate * 0.2,
+		ActRate:   memRate,
+		UtilBus:   e.MemLoad.UtilBus,
+		BusyFrac:  busy,
+	}
+	e.Power = ev.Cfg.Power.TotalFromCPU(cpu, l2Rate, u)
+}
+
+// Tables exposes the memoized per-epoch prediction tables so callers on the
+// marginal-scoring hot path can query them through inlinable methods:
+// StepTable.TPIAt(i, s, lat) is bit-identical to
+// Stats()[i].TPI(Cfg.CoreLadder.Hz(s), lat), and CoreTable.PowerAt(s, i, ips)
+// to Cfg.Power.Core.Power(Volts(s), Hz(s), ips, mix_i) (DESIGN.md §10).
+// Valid only when UseTables is set, between a Reset and the next.
+func (ev *Evaluator) Tables() (*perf.StepTable, *power.CoreTable) {
+	return &ev.tbl, &ev.ptbl
+}
+
+// TMaxInto computes each core's maximum allowed epoch time at the given
+// operating point — Instructions·TPI, the slack-bookkeeping reference —
+// writing into dst. The allocation-free form of the TMaxForEpoch helper.
+//
+//hot:path
+func (ev *Evaluator) TMaxInto(dst []float64, coreSteps []int, memStep int) []float64 {
+	ev.EvaluateInto(&ev.tmaxEval, coreSteps, memStep)
+	if cap(dst) < len(ev.obs.Cores) {
+		dst = make([]float64, len(ev.obs.Cores)) //hot:alloc-ok capacity miss: runs once until the caller's scratch is warm
+	}
+	dst = dst[:len(ev.obs.Cores)]
+	for i, c := range ev.obs.Cores {
+		dst[i] = float64(c.Instructions) * ev.tmaxEval.TPI[i]
+	}
+	return dst
 }
 
 // finish fills slowdowns and predicted power for an Eval whose TPI and
@@ -457,6 +626,44 @@ func resizeCoreOps(s []power.CoreOp, n int) []power.CoreOp {
 		return make([]power.CoreOp, n)
 	}
 	return s[:n]
+}
+
+func resizeMixes(s []trace.InstrMix, n int) []trace.InstrMix {
+	if cap(s) < n {
+		return make([]trace.InstrMix, n)
+	}
+	return s[:n]
+}
+
+// WithinBoundScaled is WithinBound against limits whose (1+1e-12) epsilon
+// scaling has already been applied (see ScaleLimits) — the hot-path form
+// that hoists the per-element multiply out of repeated feasibility checks.
+//
+//hot:path
+func WithinBoundScaled(e Eval, scaled []float64) bool {
+	for i, s := range e.Slowdown {
+		if s > scaled[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ScaleLimits fills dst with limits[i]·(1+1e-12), the epsilon-padded bounds
+// WithinBound compares against, so a caller checking many candidates against
+// one limit vector multiplies once instead of per check. dst is reused when
+// its capacity suffices.
+//
+//hot:path
+func ScaleLimits(dst, limits []float64) []float64 {
+	if cap(dst) < len(limits) {
+		dst = make([]float64, len(limits)) //hot:alloc-ok capacity miss: runs once until the caller's scratch is warm
+	}
+	dst = dst[:len(limits)]
+	for i, l := range limits {
+		dst[i] = l * (1 + 1e-12)
+	}
+	return dst
 }
 
 // WithinBound reports whether an evaluation satisfies every core's slowdown

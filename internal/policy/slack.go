@@ -31,6 +31,14 @@ func NewSlackBook(n int, gamma, reserve float64) *SlackBook {
 	}
 }
 
+// Reset forgets every thread's accumulated slack, returning the book to its
+// freshly constructed state (Reserve and gamma are kept). Benchmarks and
+// repeated bit-identical runs use it to rewind a controller without
+// reallocating its bookkeeping.
+func (b *SlackBook) Reset() {
+	clear(b.byThread)
+}
+
 // Thread returns (creating if needed) the tracker for one software thread.
 func (b *SlackBook) Thread(id int) *perf.Slack {
 	s, ok := b.byThread[id]
@@ -89,12 +97,7 @@ func identity(n int) []int {
 // cores and the memory subsystem operated at maximum frequency" step of §3.
 func TMaxForEpoch(cfg Config, epoch Observation, coreSteps []int, memStep int) []float64 {
 	ev := NewEvaluator(cfg, epoch)
-	ref := ev.Evaluate(coreSteps, memStep)
-	out := make([]float64, len(epoch.Cores))
-	for i, c := range epoch.Cores {
-		out[i] = float64(c.Instructions) * ref.TPI[i]
-	}
-	return out
+	return ev.TMaxInto(nil, coreSteps, memStep)
 }
 
 // ZeroSteps returns an all-zero (maximum frequency) step vector of length n.

@@ -36,16 +36,27 @@ type Split struct {
 // Total evaluates Eq. 3: fixed rest-of-system power, L2 power from its
 // access rate, memory power at usage u, and the sum of per-core powers.
 func (s System) Total(cores []CoreOp, l2AccessRate float64, u MemUsage) Split {
+	var cpu float64
+	for _, c := range cores {
+		cpu += s.Core.Power(c.Volts, c.Hz, c.IPS, c.Mix)
+	}
+	return s.TotalFromCPU(cpu, l2AccessRate, u)
+}
+
+// TotalFromCPU is Total with the per-core power sum already accumulated by
+// the caller — in ascending core order, matching Total's own loop, so a
+// caller summing identical per-core terms (e.g. from a memoized CoreTable)
+// gets a bit-identical Split. The search hot path uses it to skip the
+// per-core model evaluation (see DESIGN.md §10).
+//
+//hot:path
+func (s System) TotalFromCPU(cpu, l2AccessRate float64, u MemUsage) Split {
 	cpuScale, memScale := s.CPUScale, s.MemScale
 	if cpuScale <= 0 {
 		cpuScale = 1
 	}
 	if memScale <= 0 {
 		memScale = 1
-	}
-	var cpu float64
-	for _, c := range cores {
-		cpu += s.Core.Power(c.Volts, c.Hz, c.IPS, c.Mix)
 	}
 	cpu *= cpuScale
 	l2 := s.L2.Power(l2AccessRate) * cpuScale // L2 shares the CPU budget in the 60/30/10 split

@@ -1,0 +1,81 @@
+package power
+
+import "coscale/internal/trace"
+
+// CoreTable memoizes CoreModel evaluation over a core-frequency ladder for
+// one epoch's per-core instruction mixes. Reset fills every (step, core)
+// entry eagerly — the mix-dependent energy factor is hoisted out of the
+// voltage scaling, so a full fill is O(steps·cores) cheap multiplies —
+// leaving PowerAt a branch-free three-lookup expression that reproduces
+// CoreModel.Power's exact operation sequence, (dynClock + epi·ips) + leak.
+// A table lookup is therefore bit-identical to a direct call with the same
+// voltage, frequency, instruction rate and mix, and small enough to inline
+// into the search's marginal-scoring loops.
+//
+// Backing arrays are reused across Resets, so the steady state allocates
+// nothing. A CoreTable is not safe for concurrent use.
+type CoreTable struct {
+	dynClock []float64   // [step] PClock·s²·(hz/FNom), s = volts/VNom
+	leak     []float64   // [step] PLeak·s
+	eMix     []float64   // [core] voltage-independent mix energy EBase + ΣEclass·mix
+	epi      [][]float64 // [step][core] EnergyPerInstr(volts[step], mixes[core])
+}
+
+// Reset re-points the table at core model m, the candidate (hz, volts)
+// ladder, and a new epoch's per-core instruction mixes, invalidating every
+// memoized column. mixes is consumed during Reset (the table keeps only the
+// derived per-core energies), so the caller may reuse the buffer afterwards.
+//
+//hot:path
+func (t *CoreTable) Reset(m CoreModel, hz, volts []float64, mixes []trace.InstrMix) {
+	steps := len(hz)
+	if cap(t.dynClock) < steps {
+		t.dynClock = make([]float64, steps) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
+	}
+	t.dynClock = t.dynClock[:steps]
+	if cap(t.leak) < steps {
+		t.leak = make([]float64, steps) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
+	}
+	t.leak = t.leak[:steps]
+	if cap(t.epi) < steps {
+		t.epi = make([][]float64, steps) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
+	}
+	t.epi = t.epi[:steps]
+	for s := 0; s < steps; s++ {
+		sv := volts[s] / m.VNom
+		t.dynClock[s] = m.PClock * sv * sv * (hz[s] / m.FNom)
+		t.leak[s] = m.PLeak * sv
+	}
+	// The mix-dependent energy factor is voltage-independent, so hoist it out
+	// of the per-step columns: EnergyPerInstr(v, mix) = e(mix)·s·s, and each
+	// column entry below reproduces exactly that product order from eMix[i],
+	// making it equal to EnergyPerInstr(volts[s], mixes[i]) bit for bit.
+	if cap(t.eMix) < len(mixes) {
+		t.eMix = make([]float64, len(mixes)) //hot:alloc-ok capacity miss: runs once until the core-count scratch is warm
+	}
+	t.eMix = t.eMix[:len(mixes)]
+	for i, mix := range mixes {
+		t.eMix[i] = m.EBase + m.EALU*mix.ALU + m.EFPU*mix.FPU + m.EBranch*mix.Branch + m.ELoadStore*mix.LoadStore
+	}
+	for s := 0; s < steps; s++ {
+		col := t.epi[s]
+		if cap(col) < len(t.eMix) {
+			col = make([]float64, len(t.eMix)) //hot:alloc-ok capacity miss: runs once until the core-count scratch is warm
+		}
+		col = col[:len(t.eMix)]
+		sv := volts[s] / m.VNom
+		for i, e := range t.eMix {
+			col[i] = e * sv * sv
+		}
+		t.epi[s] = col
+	}
+}
+
+// PowerAt predicts core i's power at ladder step s committing ips
+// instructions per second — bit-identical to
+// model.Power(volts[s], hz[s], ips, mixes[i]).
+//
+//hot:path
+func (t *CoreTable) PowerAt(s, i int, ips float64) float64 {
+	return t.dynClock[s] + t.epi[s][i]*ips + t.leak[s]
+}

@@ -33,6 +33,13 @@ type metrics struct {
 
 	epochs atomic.Int64 // engine epochs simulated by this process
 
+	// Per-decision search cost across every policy run this process has
+	// executed (timedPolicy feeds these): call count, summed and maximum
+	// Decide duration. sum/count is the mean; max is the tail spike.
+	searchCount atomic.Int64
+	searchSumNs atomic.Int64
+	searchMaxNs atomic.Int64
+
 	mu        sync.Mutex
 	latencies [latencyWindow]float64 // seconds, ring buffer
 	latN      int                    // total samples ever recorded
@@ -44,6 +51,21 @@ func (m *metrics) observeLatency(d time.Duration) {
 	m.latencies[m.latN%latencyWindow] = d.Seconds()
 	m.latN++
 	m.mu.Unlock()
+}
+
+// observeSearch records one policy decision's search duration. The maximum
+// is a compare-and-swap high-water mark: concurrent workers race the update,
+// and a loser retries only while its sample still exceeds the current max.
+func (m *metrics) observeSearch(d time.Duration) {
+	ns := d.Nanoseconds()
+	m.searchCount.Add(1)
+	m.searchSumNs.Add(ns)
+	for {
+		cur := m.searchMaxNs.Load()
+		if ns <= cur || m.searchMaxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
 }
 
 // quantiles returns the p50 and p99 job latency over the retained window
@@ -95,6 +117,9 @@ func (m *metrics) write(w io.Writer, uptime time.Duration) {
 	fmt.Fprintf(w, "coscale_cache_hit_rate %g\n", hitRate)
 	fmt.Fprintf(w, "coscale_job_latency_seconds{quantile=\"0.5\"} %g\n", p50)
 	fmt.Fprintf(w, "coscale_job_latency_seconds{quantile=\"0.99\"} %g\n", p99)
+	fmt.Fprintf(w, "coscale_search_decisions_total %d\n", m.searchCount.Load())
+	fmt.Fprintf(w, "coscale_search_duration_ns_sum %d\n", m.searchSumNs.Load())
+	fmt.Fprintf(w, "coscale_search_duration_ns_max %d\n", m.searchMaxNs.Load())
 	fmt.Fprintf(w, "coscale_epochs_simulated_total %d\n", epochs)
 	fmt.Fprintf(w, "coscale_epochs_per_second %g\n", eps)
 	fmt.Fprintf(w, "coscale_uptime_seconds %g\n", uptime.Seconds())

@@ -134,7 +134,9 @@ func (s *Server) runCell(ctx context.Context, q SimulateRequest, onEpoch func(si
 	if err != nil {
 		return nil, err
 	}
-	cfg.Policy = pol
+	if pol != nil { // Baseline runs have no policy, hence no search to time
+		cfg.Policy = timed(pol, &s.metrics)
+	}
 	cfg.OnEpoch = onEpoch
 	eng, err := sim.New(cfg)
 	if err != nil {

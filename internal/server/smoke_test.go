@@ -236,6 +236,9 @@ func TestServeSmoke(t *testing.T) {
 		"coscale_jobs_cancelled_total":   2,
 		"coscale_jobs_done_total":        1,
 		"coscale_epochs_simulated_total": 1,
+		"coscale_search_decisions_total": 1,
+		"coscale_search_duration_ns_sum": 1,
+		"coscale_search_duration_ns_max": 1,
 	} {
 		if v := metricValue(t, m, name); v < min {
 			t.Errorf("%s = %v, want >= %v", name, v, min)
