@@ -3,10 +3,11 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint test test-race bench bench-smoke bench-json bench-compare profile fmt fuzz-smoke fault-smoke serve-smoke
+.PHONY: check build vet fmt-check lint escapes escapes-baseline test test-race bench bench-smoke bench-json bench-compare profile fmt fuzz-smoke fault-smoke serve-smoke
 
-## check: the full gate — tier-1 verify + vet + gofmt + coscale-lint
-check: build vet fmt-check lint test
+## check: the full gate — tier-1 verify + vet + gofmt + coscale-lint +
+## escape-analysis gate
+check: build vet fmt-check lint escapes test
 
 build:
 	$(GO) build ./...
@@ -84,6 +85,17 @@ fmt-check:
 fmt:
 	gofmt -w .
 
-## lint: the domain-invariant analyzers (see internal/lint)
+## lint: the domain-invariant analyzers, per-package and interprocedural
+## (see internal/lint)
 lint:
 	$(GO) run ./cmd/coscale-lint ./...
+
+## escapes: the escape-analysis regression gate — compiler heap escapes in
+## the transitive //hot:path closure vs ESCAPES_baseline.json
+escapes:
+	$(GO) run ./cmd/coscale-lint -escapes
+
+## escapes-baseline: re-record ESCAPES_baseline.json after a reviewed
+## change to hot-path allocation behaviour
+escapes-baseline:
+	$(GO) run ./cmd/coscale-lint -escapes -update

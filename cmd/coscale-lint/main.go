@@ -1,11 +1,25 @@
 // Command coscale-lint runs the repository's domain-invariant static
-// analyzers (floateq, unitliteral, determinism, nopanic, noprint) over the
-// given package patterns and exits non-zero on findings.
+// analyzers over the given package patterns and exits non-zero on findings.
+// The per-package rules (floateq, unitliteral, determinism, nopanic,
+// noprint, hotalloc) are joined by interprocedural rules built on a
+// repo-wide call graph: hotprop (transitive //hot:path allocation
+// discipline), dettaint (nondeterminism reachable from determinism-critical
+// packages), and ctxprop (dropped context threading in the serving layer).
 //
 // Usage:
 //
 //	go run ./cmd/coscale-lint ./...
+//	go run ./cmd/coscale-lint -json ./internal/policy
 //	go run ./cmd/coscale-lint -list
+//	go run ./cmd/coscale-lint -escapes [-update]
+//
+// Naming a package subset still loads its transitive module-internal
+// imports (so call-graph rules see whole chains) but reports findings only
+// in the named packages. -json emits diagnostics as a JSON array; -v prints
+// load/graph/analysis timings to stderr. -escapes runs the escape-analysis
+// regression gate: compiler heap escapes inside the transitive //hot:path
+// closure are diffed against ESCAPES_baseline.json (regenerate with
+// -escapes -update, or `make escapes-baseline`).
 //
 // Diagnostics print as "file:line: rule: message". Individual findings can
 // be suppressed with a "//lint:ignore <rule> <reason>" comment on the

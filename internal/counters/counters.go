@@ -275,14 +275,14 @@ func (s *System) SubInto(dst *System, start *System) {
 
 func resizeCores(s []Core, n int) []Core {
 	if cap(s) < n {
-		return make([]Core, n)
+		return make([]Core, n) //hot:alloc-ok capacity miss: amortized to zero once the snapshot shape is warm
 	}
 	return s[:n]
 }
 
 func resizeChannels(s []Channel, n int) []Channel {
 	if cap(s) < n {
-		return make([]Channel, n)
+		return make([]Channel, n) //hot:alloc-ok capacity miss: amortized to zero once the snapshot shape is warm
 	}
 	return s[:n]
 }

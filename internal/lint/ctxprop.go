@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxProp guards cancellation threading in the serving layer
+// (internal/server, internal/experiments): a function that receives a
+// context.Context (or an *http.Request, whose Context() carries one) must
+// not sever the cancellation chain when calling context-capable callees.
+// This is exactly the class of bug the coscale-serve cancellation work
+// fixed by hand — a handler that runs a simulation with a background
+// context keeps burning a worker slot after its client has gone away.
+//
+// Two precise checks, both restricted to module-internal callees so the
+// rule stays conservative:
+//
+//   - a call that passes context.Background() or context.TODO() into a
+//     ctx-typed parameter while the caller has its own ctx in scope drops
+//     cancellation on the floor;
+//   - a call to a callee with no ctx parameter, when a sibling
+//     <Name>Context variant (same package, or same receiver type) accepts
+//     one, silently selects the uncancellable path.
+//
+// Passing a ctx derived from the caller's (context.WithCancel(ctx),
+// r.Context(), ...) is fine; so is Background() in functions with no ctx
+// of their own (servers creating their root context). Calls through
+// function values are not resolved and never reported.
+var CtxProp = &ProgramAnalyzer{
+	Name: "ctxprop",
+	Doc:  "flag dropped context threading in internal/server and internal/experiments",
+	Run:  runCtxProp,
+}
+
+// ctxScope matches the serving-layer packages where cancellation threading
+// is load-bearing.
+func ctxScope(path string) bool {
+	_, after, ok := strings.Cut(path, "/internal/")
+	if !ok {
+		return false
+	}
+	for _, p := range []string{"server", "experiments"} {
+		if after == p || strings.HasPrefix(after, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// ctxParamIndex returns the index of the first context.Context parameter of
+// sig, or -1.
+func ctxParamIndex(sig *types.Signature) int {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func runCtxProp(pass *ProgramPass) {
+	for _, f := range pass.Prog.FuncsInOrder() {
+		if !ctxScope(f.Pkg.Path) || f.Decl.Body == nil {
+			continue
+		}
+		checkCtxFunc(pass, f)
+	}
+}
+
+// checkCtxFunc analyzes one function body. carriers is the set of objects
+// the caller's cancellation flows through: ctx and *http.Request parameters
+// plus every ctx-typed local assigned from an expression that mentions a
+// carrier (ctx2, cancel := context.WithTimeout(ctx, d) keeps ctx2 in the
+// chain).
+func checkCtxFunc(pass *ProgramPass, f *FuncInfo) {
+	info := f.Pkg.Info
+	carriers := map[types.Object]bool{}
+	if f.Decl.Type.Params != nil {
+		for _, field := range f.Decl.Type.Params.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if isContextType(obj.Type()) || isHTTPRequestPtr(obj.Type()) {
+					carriers[obj] = true
+				}
+			}
+		}
+	}
+	if len(carriers) == 0 {
+		return
+	}
+	// One pass in source order: assignments extend the carrier set before
+	// later call sites consult it (Go declarations precede uses within a
+	// body in source order for the locals we care about).
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			rhsCarries := false
+			for _, rhs := range n.Rhs {
+				if mentionsCarrier(info, rhs, carriers) {
+					rhsCarries = true
+					break
+				}
+			}
+			if !rhsCarries {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && isContextType(obj.Type()) {
+					carriers[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			checkCtxCall(pass, f, n, carriers)
+		}
+		return true
+	})
+}
+
+// checkCtxCall applies the two ctx rules to one call site.
+func checkCtxCall(pass *ProgramPass, f *FuncInfo, call *ast.CallExpr, carriers map[types.Object]bool) {
+	info := f.Pkg.Info
+	callee := staticCallee(info, call)
+	if callee == nil {
+		return // builtin, conversion, or function value: unknown target
+	}
+	target, inProgram := pass.Prog.Funcs[callee]
+	if !inProgram || target == f {
+		return // module-internal callees only; self-recursion is the caller's business
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if i := ctxParamIndex(sig); i >= 0 {
+		if i >= len(call.Args) {
+			return
+		}
+		arg := ast.Unparen(call.Args[i])
+		if isBackgroundOrTODO(info, arg) {
+			pass.Reportf(call.Pos(),
+				"%s passes context.Background to %s while the caller's ctx is in scope; thread the caller's ctx (or derive from it)",
+				f.Name(), target.Name())
+		}
+		return
+	}
+	// No ctx parameter: does a <Name>Context sibling accept one?
+	sibling := contextSibling(callee)
+	if sibling == nil {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s calls %s, which cannot be cancelled, while the caller's ctx is in scope; call %s and pass ctx",
+		f.Name(), target.Name(), funcDisplayName(sibling))
+}
+
+// isBackgroundOrTODO reports whether e is context.Background() or
+// context.TODO().
+func isBackgroundOrTODO(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	return fn.Name() == "Background" || fn.Name() == "TODO"
+}
+
+// mentionsCarrier reports whether any identifier under e resolves to a
+// carrier object (directly, or via a method call on one, like r.Context()).
+func mentionsCarrier(info *types.Info, e ast.Expr, carriers map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil && carriers[obj] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// contextSibling looks for a <Name>Context variant of fn that accepts a
+// context.Context: a method on the same receiver type, or a package-level
+// function in the same package.
+func contextSibling(fn *types.Func) *types.Func {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	want := fn.Name() + "Context"
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		obj, _, _ := types.LookupFieldOrMethod(t, true, fn.Pkg(), want)
+		if m, ok := obj.(*types.Func); ok {
+			if msig, ok := m.Type().(*types.Signature); ok && ctxParamIndex(msig) >= 0 {
+				return m
+			}
+		}
+		return nil
+	}
+	if fn.Pkg() == nil {
+		return nil
+	}
+	if m, ok := fn.Pkg().Scope().Lookup(want).(*types.Func); ok {
+		if msig, ok := m.Type().(*types.Signature); ok && ctxParamIndex(msig) >= 0 {
+			return m
+		}
+	}
+	return nil
+}

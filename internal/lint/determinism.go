@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -54,36 +55,44 @@ var randConstructors = map[string]bool{
 
 func runDeterminism(pass *Pass) {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.SelectorExpr:
-				fn, ok := pass.Info.Uses[n.Sel].(*types.Func)
-				if !ok || fn.Pkg() == nil {
-					return true
+		scanNondeterminism(pass.Info, f, pass.Reportf)
+	}
+}
+
+// scanNondeterminism reports every wall-clock read, global rand draw, and
+// map iteration under root. It is shared between the package-scoped
+// determinism analyzer and the interprocedural dettaint analyzer, so both
+// flag exactly the same source constructs.
+func scanNondeterminism(info *types.Info, root ast.Node, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			fn, ok := info.Uses[n.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" {
+					report(n.Pos(),
+						"time.Now is nondeterministic; advance simulated time explicitly")
 				}
-				switch fn.Pkg().Path() {
-				case "time":
-					if fn.Name() == "Now" {
-						pass.Reportf(n.Pos(),
-							"time.Now is nondeterministic; advance simulated time explicitly")
-					}
-				case "math/rand", "math/rand/v2":
-					sig, ok := fn.Type().(*types.Signature)
-					if ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
-						pass.Reportf(n.Pos(),
-							"global rand.%s draws from the shared process-wide source; use a seeded *rand.Rand",
-							fn.Name())
-					}
-				}
-			case *ast.RangeStmt:
-				if t := pass.Info.TypeOf(n.X); t != nil {
-					if _, ok := t.Underlying().(*types.Map); ok {
-						pass.Reportf(n.Range,
-							"map iteration order is nondeterministic; collect and sort the keys first")
-					}
+			case "math/rand", "math/rand/v2":
+				sig, ok := fn.Type().(*types.Signature)
+				if ok && sig.Recv() == nil && !randConstructors[fn.Name()] {
+					report(n.Pos(),
+						"global rand.%s draws from the shared process-wide source; use a seeded *rand.Rand",
+						fn.Name())
 				}
 			}
-			return true
-		})
-	}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					report(n.Range,
+						"map iteration order is nondeterministic; collect and sort the keys first")
+				}
+			}
+		}
+		return true
+	})
 }

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Exit codes returned by Main.
@@ -20,18 +22,28 @@ const (
 	ExitError    = 2 // usage, load, parse or type-check failure
 )
 
-// Main is the coscale-lint entry point: it expands package patterns
-// (./... style), loads and type-checks each package, runs the analyzer
-// suite, prints "file:line: rule: message" diagnostics to stdout and
-// returns an exit code. Directories named testdata, vendor, or starting
-// with "." or "_" are skipped by pattern expansion, matching go tooling
-// conventions.
+// Main is the coscale-lint entry point. It expands package patterns
+// (./... style), loads and type-checks every named package plus its
+// transitive module-internal imports exactly once, builds the call graph,
+// runs the per-package and interprocedural analyzer suites, prints
+// "file:line: rule: message" diagnostics (or a JSON array with -json) and
+// returns an exit code. Diagnostics are confined to the named packages even
+// though analysis sees the whole program. With -escapes it instead runs the
+// escape-analysis regression gate against the committed baseline.
+// Directories named testdata, vendor, or starting with "." or "_" are
+// skipped by pattern expansion, matching go tooling conventions.
 func Main(args []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("coscale-lint", flag.ContinueOnError)
 	fl.SetOutput(stderr)
 	list := fl.Bool("list", false, "list analyzers and exit")
+	jsonOut := fl.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	verbose := fl.Bool("v", false, "report load/graph/analysis wall time and program size to stderr")
+	escapes := fl.Bool("escapes", false, "run the escape-analysis regression gate for the //hot:path closure")
+	update := fl.Bool("update", false, "with -escapes: rewrite the baseline instead of checking against it")
+	baseline := fl.String("baseline", "ESCAPES_baseline.json", "with -escapes: baseline file, relative to the module root")
 	fl.Usage = func() {
-		fmt.Fprintln(stderr, "usage: coscale-lint [-list] [packages]")
+		fmt.Fprintln(stderr, "usage: coscale-lint [-list] [-json] [-v] [packages]")
+		fmt.Fprintln(stderr, "       coscale-lint -escapes [-update] [-baseline file]")
 		fmt.Fprintln(stderr, "packages are directory patterns like ./... or ./internal/sim (default ./...)")
 		fl.PrintDefaults()
 	}
@@ -40,6 +52,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	}
 	if *list {
 		for _, a := range Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range ProgramAnalyzers() {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return ExitClean
@@ -59,6 +74,11 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "coscale-lint:", err)
 		return ExitError
 	}
+	if *escapes {
+		// The gate compares whole-module state against a whole-module
+		// baseline; a package subset would silently shrink the hot closure.
+		patterns = []string{filepath.Join(root, "...")}
+	}
 
 	dirs, err := expandPatterns(cwd, patterns)
 	if err != nil {
@@ -70,8 +90,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return ExitError
 	}
 
+	start := time.Now()
 	loader := NewLoader(root, modPath)
-	var diags []Diagnostic
+	targets := make([]*Package, 0, len(dirs))
 	for _, dir := range dirs {
 		path, err := importPathFor(root, modPath, dir)
 		if err != nil {
@@ -83,16 +104,86 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "coscale-lint:", err)
 			return ExitError
 		}
-		diags = append(diags, CheckPackage(pkg, Analyzers())...)
+		targets = append(targets, pkg)
 	}
-	for _, d := range diags {
-		d.Pos.Filename = relativize(cwd, d.Pos.Filename)
-		fmt.Fprintln(stdout, d)
+	prog := BuildProgram(loader, targets)
+	loadTime := time.Since(start)
+
+	graphStart := time.Now()
+	graph := prog.CallGraph()
+	graphTime := time.Since(graphStart)
+
+	if *verbose {
+		edges := 0
+		for _, out := range graph.Out {
+			edges += len(out)
+		}
+		fmt.Fprintf(stderr, "coscale-lint: loaded %d packages (%d targets), %d functions in %v; call graph %d edges in %v\n",
+			len(prog.Pkgs), len(prog.Targets), len(prog.FuncsInOrder()), loadTime.Round(time.Millisecond),
+			edges, graphTime.Round(time.Millisecond))
+	}
+
+	if *escapes {
+		bl := *baseline
+		if !filepath.IsAbs(bl) {
+			bl = filepath.Join(root, bl)
+		}
+		return runEscapes(prog, root, bl, *update, stdout, stderr)
+	}
+
+	analysisStart := time.Now()
+	diags := Check(prog, Analyzers(), ProgramAnalyzers())
+	if *verbose {
+		fmt.Fprintf(stderr, "coscale-lint: analysis %v, total %v, %d findings\n",
+			time.Since(analysisStart).Round(time.Millisecond), time.Since(start).Round(time.Millisecond), len(diags))
+	}
+	for i := range diags {
+		diags[i].Pos.Filename = relativize(cwd, diags[i].Pos.Filename)
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "coscale-lint:", err)
+			return ExitError
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		return ExitFindings
 	}
 	return ExitClean
+}
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// writeJSON emits the diagnostics as an indented JSON array ([] when clean,
+// so consumers can always json-decode the output).
+func writeJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:    filepath.ToSlash(d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(data))
+	return err
 }
 
 // findModule walks up from dir to the enclosing go.mod and returns the
@@ -153,6 +244,8 @@ func expandPatterns(cwd string, patterns []string) ([]string, error) {
 			pat, recursive = ".", true
 		case strings.HasSuffix(pat, "/..."):
 			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		case strings.HasSuffix(pat, string(filepath.Separator)+"..."):
+			pat, recursive = strings.TrimSuffix(pat, string(filepath.Separator)+"..."), true
 		}
 		base := pat
 		if !filepath.IsAbs(base) {

@@ -17,9 +17,11 @@ import (
 //
 // The marker is matched in the function's doc comment as a standalone
 // //hot:path line, exactly the convention the hand-marked hot paths already
-// follow. Allocation via helpers (perf.ResizeFloats and friends) is the
-// sanctioned pattern and is untouched: the make lives in the helper, which
-// is deliberately not marked.
+// follow. HotAlloc itself checks only explicitly marked functions; the
+// interprocedural hotprop rule extends the same make() check to every
+// function reachable from a hot root through the call graph, so unmarked
+// helpers (perf.ResizeFloats and friends) justify their capacity-miss
+// allocations with //hot:alloc-ok at the make site.
 var HotAlloc = &Analyzer{
 	Name:  "hotalloc",
 	Doc:   "forbid make() in //hot:path functions without a //hot:alloc-ok justification",
@@ -29,7 +31,7 @@ var HotAlloc = &Analyzer{
 
 func runHotAlloc(pass *Pass) {
 	for _, f := range pass.Files {
-		allowed, malformed := collectAllocOK(pass, f)
+		allowed, malformed := allocOKLines(pass.Fset, f)
 		for _, d := range malformed {
 			pass.Reportf(d, `malformed directive: want "//hot:alloc-ok <reason>"`)
 		}
@@ -38,28 +40,35 @@ func runHotAlloc(pass *Pass) {
 			if !ok || fn.Body == nil || !isHotPath(fn) {
 				continue
 			}
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				id, ok := call.Fun.(*ast.Ident)
-				if !ok || id.Name != "make" {
-					return true
-				}
-				if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
-					return true
-				}
+			scanMakes(pass.Info, fn.Body, func(call *ast.CallExpr) {
 				if allowed[pass.Fset.Position(call.Pos()).Line] {
-					return true
+					return
 				}
 				pass.Reportf(call.Pos(),
 					"make() in //hot:path function %s; reuse a scratch buffer, or justify the cold path with //hot:alloc-ok <reason>",
 					fn.Name.Name)
-				return true
 			})
 		}
 	}
+}
+
+// scanMakes calls fn for every call of the make builtin under root.
+func scanMakes(info *types.Info, root ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, ok := info.Uses[id].(*types.Builtin); !ok {
+			return true
+		}
+		fn(call)
+		return true
+	})
 }
 
 // isHotPath reports whether the function's doc comment contains a standalone
@@ -76,10 +85,10 @@ func isHotPath(fn *ast.FuncDecl) bool {
 	return false
 }
 
-// collectAllocOK gathers //hot:alloc-ok directives: each one licenses
+// allocOKLines gathers //hot:alloc-ok directives: each one licenses
 // allocations on its own line and on the following line. Directives missing
 // a reason are returned for reporting.
-func collectAllocOK(pass *Pass, f *ast.File) (map[int]bool, []token.Pos) {
+func allocOKLines(fset *token.FileSet, f *ast.File) (map[int]bool, []token.Pos) {
 	allowed := map[int]bool{}
 	var malformed []token.Pos
 	for _, cg := range f.Comments {
@@ -92,7 +101,7 @@ func collectAllocOK(pass *Pass, f *ast.File) (map[int]bool, []token.Pos) {
 				malformed = append(malformed, c.Pos())
 				continue
 			}
-			line := pass.Fset.Position(c.Pos()).Line
+			line := fset.Position(c.Pos()).Line
 			allowed[line] = true
 			allowed[line+1] = true
 		}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// HotProp propagates the //hot:path marker transitively: every function
+// reachable through the call graph from a marked root runs on the epoch or
+// decision hot path too, whether or not its author remembered to mark it.
+// HotProp re-runs the hotalloc make() check over that closure, so the
+// allocation discipline of DESIGN.md §7 cannot be escaped by moving the
+// allocation one call down. Each diagnostic carries the discovered call
+// chain (root → ... → offender), making the finding actionable without
+// re-deriving the path by hand.
+//
+// Interface-dispatch call sites are treated conservatively: an interface
+// method call propagates hotness to every method in the program whose
+// receiver type implements the interface. Calls of function values
+// (fields, parameters, locals) have no statically known target and
+// propagate nothing — the marked-unknown edges keep the rule free of
+// false positives at the cost of not seeing through callbacks.
+//
+// Functions explicitly marked //hot:path are checked by hotalloc and
+// skipped here, so each make() is reported exactly once. Capacity-miss
+// grow paths justify themselves with //hot:alloc-ok <reason> at the make
+// site, the same escape hatch hotalloc honours.
+var HotProp = &ProgramAnalyzer{
+	Name: "hotprop",
+	Doc:  "propagate //hot:path through the call graph and forbid make() in the closure",
+	Run:  runHotProp,
+}
+
+// hotRoots returns the program's //hot:path-marked functions in source
+// order.
+func hotRoots(prog *Program) []*FuncInfo {
+	var roots []*FuncInfo
+	for _, f := range prog.FuncsInOrder() {
+		if isHotPath(f.Decl) {
+			roots = append(roots, f)
+		}
+	}
+	return roots
+}
+
+// hotClosure computes the reachability sweep from every //hot:path root.
+// The escapes gate shares it with hotprop.
+func hotClosure(prog *Program) *Reach {
+	return prog.CallGraph().ReachableFrom(hotRoots(prog))
+}
+
+func runHotProp(pass *ProgramPass) {
+	reach := hotClosure(pass.Prog)
+	allocOK := map[*ast.File]map[int]bool{}
+	for _, f := range reach.Order() {
+		if isHotPath(f.Decl) || f.Decl.Body == nil || !internalPackages(f.Pkg.Path) {
+			continue
+		}
+		allowed, ok := allocOK[f.File]
+		if !ok {
+			allowed, _ = allocOKLines(pass.Fset, f.File) // malformed reported by hotalloc
+			allocOK[f.File] = allowed
+		}
+		chain := reach.Chain(f)
+		scanMakes(f.Pkg.Info, f.Decl.Body, func(call *ast.CallExpr) {
+			if allowed[pass.Fset.Position(call.Pos()).Line] {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"make() in %s, which is transitively hot: %s; reuse a scratch buffer, or justify the cold path with //hot:alloc-ok <reason>",
+				f.Name(), chain)
+		})
+	}
+}

@@ -55,13 +55,17 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Pass carries one type-checked package through one analyzer.
+// Pass carries one type-checked package through one analyzer. Prog, when
+// non-nil, exposes the whole program for rules that refine their package-
+// local judgement with call-graph facts (unitliteral's frequency-
+// constructor whitelist).
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Prog     *Program
 
 	diags *[]Diagnostic
 }
@@ -75,9 +79,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full suite in stable presentation order.
+// A ProgramAnalyzer checks one named rule over the whole program at once.
+// Where an Analyzer sees one package, a ProgramAnalyzer sees the call
+// graph; the interprocedural rules (hotprop, dettaint, ctxprop) live here.
+type ProgramAnalyzer struct {
+	// Name is the rule name used in diagnostics and //lint:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description shown by coscale-lint -list.
+	Doc string
+	// Run inspects the program and reports findings through the pass.
+	Run func(*ProgramPass)
+}
+
+// ProgramPass carries the program through one interprocedural analyzer.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Prog     *Program
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos under the pass's rule name.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the per-package suite in stable presentation order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{FloatEq, UnitLiteral, Determinism, NoPanic, NoPrint, HotAlloc}
+}
+
+// ProgramAnalyzers returns the interprocedural suite in stable
+// presentation order.
+func ProgramAnalyzers() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{HotProp, DetTaint, CtxProp}
 }
 
 // internalPackages scopes a rule to library code under internal/.
@@ -85,27 +126,54 @@ func internalPackages(path string) bool {
 	return strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/")
 }
 
-// CheckPackage runs every applicable analyzer over pkg, applies
-// //lint:ignore suppressions, and returns the surviving diagnostics sorted
-// by position. Malformed ignore directives are reported under the "lint"
-// rule.
-func CheckPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// Check runs the full suite over the program: every applicable per-package
+// analyzer over each target package, then every interprocedural analyzer
+// over the program as a whole. Diagnostics are confined to the target
+// packages (interprocedural rules may traverse imported helpers, but only
+// findings whose position lies in a target file are reported), //lint:ignore
+// suppressions are applied, and the survivors come back sorted by position.
+// Malformed ignore directives are reported under the "lint" rule.
+func Check(prog *Program, analyzers []*Analyzer, progAnalyzers []*ProgramAnalyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		if a.Match != nil && !a.Match(pkg.Path) {
+	fset := prog.Fset()
+	for _, pkg := range prog.Targets {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Prog:     prog,
+				diags:    &diags,
+			})
+		}
+	}
+	for _, a := range progAnalyzers {
+		a.Run(&ProgramPass{Analyzer: a, Prog: prog, Fset: fset, diags: &diags})
+	}
+
+	inTarget := prog.targetFiles()
+	var ignores map[ignoreKey]bool
+	var kept []Diagnostic
+	for _, pkg := range prog.Targets {
+		ig, malformed := collectIgnores(pkg.Fset, pkg.Files)
+		if ignores == nil {
+			ignores = ig
+		} else {
+			for k := range ig {
+				ignores[k] = true
+			}
+		}
+		kept = append(kept, malformed...)
+	}
+	for _, d := range diags {
+		if !inTarget[d.Pos.Filename] {
 			continue
 		}
-		a.Run(&Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			diags:    &diags,
-		})
-	}
-	ignores, kept := collectIgnores(pkg.Fset, pkg.Files)
-	for _, d := range diags {
 		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Rule}] {
 			continue
 		}

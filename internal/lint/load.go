@@ -37,6 +37,14 @@ type Loader struct {
 	Root    string // module root directory
 	Fset    *token.FileSet
 
+	// FixtureDirs are extra roots posing as <module>/internal/ trees, tried
+	// when a module-internal import has no Go files at its real directory.
+	// The lint tests point this at testdata/src so fixture packages can
+	// import each other (interprocedural fixtures need a caller package and
+	// a callee package), following the same path convention importPathFor
+	// applies to fixtures.
+	FixtureDirs []string
+
 	std     types.ImporterFrom
 	pkgs    map[string]*Package
 	loading map[string]bool
@@ -61,13 +69,41 @@ func NewLoader(root, modPath string) *Loader {
 // library source importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
-		p, err := l.LoadDir(l.dirFor(path), path)
+		dir := l.dirFor(path)
+		if _, err := goFiles(dir); err != nil {
+			if alt, ok := l.fixtureDirFor(path); ok {
+				dir = alt
+			}
+		}
+		p, err := l.LoadDir(dir, path)
 		if err != nil {
 			return nil, err
 		}
 		return p.Types, nil
 	}
 	return l.std.ImportFrom(path, l.Root, 0)
+}
+
+// Cached returns the already-loaded package for the import path, if any.
+func (l *Loader) Cached(path string) (*Package, bool) {
+	p, ok := l.pkgs[path]
+	return p, ok
+}
+
+// fixtureDirFor maps a <module>/internal/... import path onto the
+// FixtureDirs roots, returning the first directory that holds Go files.
+func (l *Loader) fixtureDirFor(path string) (string, bool) {
+	rel, ok := strings.CutPrefix(path, l.ModPath+"/internal/")
+	if !ok {
+		return "", false
+	}
+	for _, root := range l.FixtureDirs {
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		if _, err := goFiles(dir); err == nil {
+			return dir, true
+		}
+	}
+	return "", false
 }
 
 // dirFor maps a module-internal import path to its directory.

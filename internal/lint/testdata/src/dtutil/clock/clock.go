@@ -1,0 +1,22 @@
+// Package clock is a helper outside the determinism-scoped packages. Its
+// own package path exempts it from the per-package determinism rule; it
+// becomes determinism-critical only when a scoped package calls into it,
+// which is exactly the hole dettaint closes.
+package clock
+
+import (
+	"sort"
+	"time"
+)
+
+// Stamp leaks wall-clock time to whoever calls it.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Sorted is deterministic and safe to call from anywhere.
+func Sorted(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

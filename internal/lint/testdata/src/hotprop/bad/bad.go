@@ -1,0 +1,48 @@
+// Package bad holds hotprop violations: allocations in unmarked helpers
+// that the call graph proves are reachable from //hot:path roots.
+package bad
+
+// step is the marked epoch root; the real work is two calls down.
+//
+//hot:path
+func step(n int) float64 {
+	return total(n)
+}
+
+// total is one hop below the root and unmarked.
+func total(n int) float64 {
+	return fill(n)
+}
+
+// fill allocates two hops below the root; the diagnostic must carry the
+// step -> total -> fill chain.
+func fill(n int) float64 {
+	buf := make([]float64, n)
+	sum := 0.0
+	for i := range buf {
+		buf[i] = float64(i)
+		sum += buf[i]
+	}
+	return sum
+}
+
+// A summer abstracts the per-epoch reduction.
+type summer interface {
+	sum(n int) float64
+}
+
+type sliceSummer struct{}
+
+// sum allocates behind an interface the hot loop dispatches through;
+// implements-matching must still reach it.
+func (sliceSummer) sum(n int) float64 {
+	m := make([]int, n)
+	return float64(len(m))
+}
+
+// reduce is a marked root that only ever calls through the interface.
+//
+//hot:path
+func reduce(s summer, n int) float64 {
+	return s.sum(n)
+}

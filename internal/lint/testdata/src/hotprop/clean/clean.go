@@ -1,0 +1,50 @@
+// Package clean holds hotprop-conforming code: justified growth in a
+// transitively hot helper, allocation behind a function value (statically
+// unknown target, deliberately not propagated), and an allocator no hot
+// root reaches.
+package clean
+
+type engine struct {
+	scratch []float64
+}
+
+// step delegates to an unmarked helper that follows the scratch discipline.
+//
+//hot:path
+func step(e *engine, n int) float64 {
+	return e.fill(n)
+}
+
+// fill is transitively hot but justifies its capacity-miss growth exactly
+// like a marked function would.
+func (e *engine) fill(n int) float64 {
+	if cap(e.scratch) < n {
+		e.scratch = make([]float64, n) //hot:alloc-ok capacity miss: runs once until warm
+	}
+	e.scratch = e.scratch[:n]
+	sum := 0.0
+	for i := range e.scratch {
+		e.scratch[i] = float64(i)
+		sum += e.scratch[i]
+	}
+	return sum
+}
+
+// apply invokes a function value from a hot root; the target is statically
+// unknown, so nothing downstream is propagated (conservative by design).
+//
+//hot:path
+func apply(f func(int) []int, n int) []int {
+	return f(n)
+}
+
+// callback allocates but is only ever reached through a function value, so
+// hotprop must not flag it.
+func callback(n int) []int {
+	return make([]int, n)
+}
+
+// cold allocates and is unreachable from any //hot:path root.
+func cold(n int) []byte {
+	return make([]byte, n)
+}

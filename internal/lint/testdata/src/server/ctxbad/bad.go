@@ -1,0 +1,23 @@
+// Package bad holds ctxprop violations: a function with its own ctx in
+// scope that severs the cancellation chain, both by passing
+// context.Background into a ctx-capable callee and by picking the
+// uncancellable sibling of a Context-variant pair.
+package bad
+
+import "context"
+
+type store struct{}
+
+// Flush writes everything out with no way to stop early.
+func (s *store) Flush() {}
+
+// FlushContext is the cancellable variant callers should prefer.
+func (s *store) FlushContext(ctx context.Context) { _ = ctx }
+
+// runJob receives the request's ctx and then drops it twice.
+func runJob(ctx context.Context, s *store) {
+	execute(context.Background())
+	s.Flush()
+}
+
+func execute(ctx context.Context) { _ = ctx }

@@ -1,0 +1,31 @@
+// Package clean threads cancellation correctly: derived contexts stay in
+// the chain, the Context-variant sibling is chosen when a ctx is in scope,
+// and Background is fine in functions with no ctx of their own.
+package clean
+
+import "context"
+
+type store struct{}
+
+// Flush writes everything out with no way to stop early.
+func (s *store) Flush() {}
+
+// FlushContext is the cancellable variant.
+func (s *store) FlushContext(ctx context.Context) { _ = ctx }
+
+// runJob derives from its caller's ctx and keeps the chain intact.
+func runJob(ctx context.Context, s *store) {
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	execute(ctx2)
+	s.FlushContext(ctx)
+}
+
+// boot has no ctx of its own; creating the root context here is the
+// legitimate use of Background.
+func boot(s *store) {
+	execute(context.Background())
+	s.Flush()
+}
+
+func execute(ctx context.Context) { _ = ctx }

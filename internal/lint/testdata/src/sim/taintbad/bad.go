@@ -1,0 +1,21 @@
+// Package bad holds dettaint violations: a determinism-scoped package that
+// reaches nondeterminism through an out-of-scope helper, and a goroutine
+// fan-out whose completion order is scheduler-dependent.
+package bad
+
+import "coscale/internal/dtutil/clock"
+
+// step pulls a wall-clock stamp into simulated state through a helper the
+// per-package determinism rule never inspects.
+func step() int64 {
+	return clock.Stamp()
+}
+
+// fanOut folds results in goroutine completion order.
+func fanOut(n int) {
+	for i := 0; i < n; i++ {
+		go work(i)
+	}
+}
+
+func work(int) {}

@@ -1,0 +1,10 @@
+// Package clean uses only the deterministic surface of an out-of-scope
+// helper; dettaint must stay silent.
+package clean
+
+import "coscale/internal/dtutil/clock"
+
+// step sorts through the helper; no taint source is reachable.
+func step(xs []int) []int {
+	return clock.Sorted(xs)
+}

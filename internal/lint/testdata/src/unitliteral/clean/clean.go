@@ -1,6 +1,8 @@
 // Package clean holds code unitliteral must accept: unit-constant
-// multiples, large literals outside frequency contexts, small literals, and
-// a suppressed site.
+// multiples, large literals outside frequency contexts, small literals, a
+// suppressed site, and literal arguments to the ladder constructors —
+// boundary-validated by freq.NewLadder itself, directly or through a
+// forwarding helper the call graph whitelists.
 package clean
 
 import "coscale/internal/freq"
@@ -20,4 +22,18 @@ func build() cfg {
 	rawHz := 123456789.0
 	_ = rawHz
 	return c
+}
+
+// ladders passes raw Hz literals straight into the constructors that
+// validate them; the call-graph whitelist keeps unitliteral quiet here.
+func ladders() {
+	l1, _ := freq.NewLadder(200000000, 4000000000, 0.6, 1.0, 16)
+	l2, _ := mkLadder(800000000, 3200000000)
+	_, _ = l1, l2
+}
+
+// mkLadder forwards its own frequency parameters directly into NewLadder,
+// which makes it boundary-validated by fixpoint.
+func mkLadder(loHz, hiHz float64) (*freq.Ladder, error) {
+	return freq.NewLadder(loHz, hiHz, 0.6, 1.0, 16)
 }

@@ -15,7 +15,12 @@ import (
 // possible silent error). Spell frequencies as multiples of freq.KHz,
 // freq.MHz or freq.GHz instead: 800 * freq.MHz, not 800000000.
 //
-// The freq package itself, which defines those constants, is exempt.
+// The freq package itself, which defines those constants, is exempt, and so
+// are literal arguments to the ladder constructors (freq.NewLadder,
+// freq.NewLadderSteps) and — via the call graph — to any function that
+// forwards its parameters directly into one: the constructor validates
+// min/max/step ordering and magnitude at the boundary, so a literal there
+// is checked where it lands rather than ignored line by line.
 var UnitLiteral = &Analyzer{
 	Name: "unitliteral",
 	Doc:  "flag raw literals >= 1e6 in frequency contexts; use freq.KHz/MHz/GHz",
@@ -74,6 +79,11 @@ func runUnitLiteral(pass *Pass) {
 				sig, ok := pass.Info.TypeOf(n.Fun).(*types.Signature)
 				if !ok {
 					return true
+				}
+				if pass.Prog != nil {
+					if callee := staticCallee(pass.Info, n); callee != nil && pass.Prog.FreqConstructors()[callee] {
+						return true // boundary-validated ladder constructor
+					}
 				}
 				for i, arg := range n.Args {
 					if p := paramAt(sig, i); p != nil && isFreqName(p.Name()) {

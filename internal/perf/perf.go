@@ -323,7 +323,7 @@ func (sv *Solver) iterate(res *Result, model memsys.LoadModel, fixed, beta, mlpn
 // is the shared growth helper behind the hot paths' scratch buffers.
 func ResizeFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n) //hot:alloc-ok capacity miss: grow-only scratch, amortized to zero in steady state
 	}
 	s = s[:n]
 	for i := range s {
@@ -338,7 +338,7 @@ func ResizeFloats(s []float64, n int) []float64 {
 // is read (the solver's working arrays), the clear is pure overhead.
 func GrowFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
-		return make([]float64, n)
+		return make([]float64, n) //hot:alloc-ok capacity miss: grow-only scratch, amortized to zero in steady state
 	}
 	return s[:n]
 }
@@ -346,7 +346,7 @@ func GrowFloats(s []float64, n int) []float64 {
 // ResizeInts is ResizeFloats for int slices.
 func ResizeInts(s []int, n int) []int {
 	if cap(s) < n {
-		return make([]int, n)
+		return make([]int, n) //hot:alloc-ok capacity miss: grow-only scratch, amortized to zero in steady state
 	}
 	s = s[:n]
 	for i := range s {
@@ -446,7 +446,7 @@ func (t *StepTable) FixedCol(s int) []float64 {
 func (t *StepTable) buildCol(s int) {
 	col := t.fixedCol[s]
 	if cap(col) < len(t.stats) {
-		col = make([]float64, len(t.stats))
+		col = make([]float64, len(t.stats)) //hot:alloc-ok capacity miss: column backing array is reused across epochs
 	}
 	col = col[:len(t.stats)]
 	hz := t.hz[s]
@@ -504,6 +504,7 @@ func (sv *Solver) SolveTable(res *Result, tbl *StepTable, steps []int, model mem
 // SolveUniform is a convenience wrapper for configurations where all cores
 // share one frequency.
 func (sv *Solver) SolveUniform(cores []CoreStats, coreHz, busHz float64) Result {
+	//hot:alloc-ok per-epoch reference solve: one small slice per epoch, not per search evaluation
 	hz := make([]float64, len(cores))
 	for i := range hz {
 		hz[i] = coreHz

@@ -275,7 +275,7 @@ func (h *Hardened) trip() {
 // construction.
 func (h *Hardened) failsafe(n int) Decision {
 	if n > len(h.zeros) {
-		h.zeros = make([]int, n)
+		h.zeros = make([]int, n) //hot:alloc-ok capacity miss: grow-only scratch, amortized to zero in steady state
 	}
 	return Decision{CoreSteps: h.zeros[:n], MemStep: 0}
 }
@@ -356,7 +356,7 @@ func (h *Hardened) recordDeficit(epoch Observation) {
 		return
 	}
 	if n := len(epoch.Cores); n > len(h.zeros) {
-		h.zeros = make([]int, n)
+		h.zeros = make([]int, n) //hot:alloc-ok capacity miss: grow-only scratch, amortized to zero in steady state
 	}
 	if h.deficitEv == nil {
 		h.deficitEv = &Evaluator{UseTables: true}
@@ -369,6 +369,7 @@ func (h *Hardened) recordDeficit(epoch Observation) {
 	violated := false
 	for i, id := range threads {
 		if id >= len(h.deficit) {
+			//hot:alloc-ok capacity miss: deficit table grows once per new thread id
 			grown := make([]float64, id+1)
 			copy(grown, h.deficit)
 			h.deficit = grown

@@ -95,9 +95,11 @@ func (p *Offline) dSweep(ev *Evaluator, m int, latency float64, refTPI, limits [
 	ladder := p.cfg.CoreLadder
 	stats := ev.Stats()
 
+	//hot:alloc-ok offline oracle baseline: full-ladder sweep dominates; clarity over scratch reuse
 	slow := make([][]float64, n)
 	var cands []float64
 	for i := 0; i < n; i++ {
+		//hot:alloc-ok offline oracle baseline: full-ladder sweep dominates; clarity over scratch reuse
 		slow[i] = make([]float64, ladder.Steps())
 		for s := 0; s < ladder.Steps(); s++ {
 			sd := stats[i].TPI(ladder.Hz(s), latency) / refTPI[i]

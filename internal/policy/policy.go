@@ -369,6 +369,7 @@ func (ev *Evaluator) EvaluateInto(dst *Eval, coreSteps []int, memStep int) {
 // evaluated fully.
 func (ev *Evaluator) EvaluateFixedLatency(coreSteps []int, memStep int, latency float64) Eval {
 	hz := ev.coreHz(coreSteps)
+	//hot:alloc-ok result escapes: the returned Eval owns its TPI/Slowdown slices
 	e := Eval{TPI: make([]float64, len(ev.stats)), Slowdown: make([]float64, len(ev.stats))}
 	for i, s := range ev.stats {
 		e.TPI[i] = s.TPI(hz[i], latency)
@@ -616,21 +617,21 @@ func MaxSlowdownsInto(dst, slacks []float64, epoch, gamma float64) []float64 {
 // zeroing: every element is fully overwritten before it is read.
 func resizeStats(s []perf.CoreStats, n int) []perf.CoreStats {
 	if cap(s) < n {
-		return make([]perf.CoreStats, n)
+		return make([]perf.CoreStats, n) //hot:alloc-ok capacity miss: grow-only scratch, amortized to zero in steady state
 	}
 	return s[:n]
 }
 
 func resizeCoreOps(s []power.CoreOp, n int) []power.CoreOp {
 	if cap(s) < n {
-		return make([]power.CoreOp, n)
+		return make([]power.CoreOp, n) //hot:alloc-ok capacity miss: grow-only scratch, amortized to zero in steady state
 	}
 	return s[:n]
 }
 
 func resizeMixes(s []trace.InstrMix, n int) []trace.InstrMix {
 	if cap(s) < n {
-		return make([]trace.InstrMix, n)
+		return make([]trace.InstrMix, n) //hot:alloc-ok capacity miss: grow-only scratch, amortized to zero in steady state
 	}
 	return s[:n]
 }

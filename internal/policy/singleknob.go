@@ -43,9 +43,11 @@ func coreSearch(ev *Evaluator, memStep int, latency float64, refTPI, limits []fl
 
 	// slow[i][s]: predicted slowdown of core i at step s under fixed
 	// memory latency.
+	//hot:alloc-ok per-decision table: the CPU-only manager sweeps the full ladder once per epoch
 	slow := make([][]float64, n)
 	var candidates []float64
 	for i := 0; i < n; i++ {
+		//hot:alloc-ok per-decision table: the CPU-only manager sweeps the full ladder once per epoch
 		slow[i] = make([]float64, ladder.Steps())
 		for s := 0; s < ladder.Steps(); s++ {
 			sd := stats[i].TPI(ladder.Hz(s), latency) / refTPI[i]
@@ -82,6 +84,7 @@ func coreSearch(ev *Evaluator, memStep int, latency float64, refTPI, limits []fl
 // assembleSteps picks, for each core, the lowest frequency whose slowdown
 // stays within min(d, limits[i]).
 func assembleSteps(slow [][]float64, limits []float64, d float64) []int {
+	//hot:alloc-ok result escapes: the returned steps become Decision.CoreSteps
 	steps := make([]int, len(slow))
 	for i := range slow {
 		lim := limits[i]

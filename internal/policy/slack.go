@@ -83,6 +83,7 @@ func (b *SlackBook) RecordEpochFor(threads []int, tMax []float64, actual float64
 
 // identity returns [0, 1, ..., n).
 func identity(n int) []int {
+	//hot:alloc-ok result escapes: callers keep the returned mapping
 	out := make([]int, n)
 	for i := range out {
 		out[i] = i
@@ -101,4 +102,6 @@ func TMaxForEpoch(cfg Config, epoch Observation, coreSteps []int, memStep int) [
 }
 
 // ZeroSteps returns an all-zero (maximum frequency) step vector of length n.
+//
+//lint:ignore hotprop result escapes: callers keep the returned step vector
 func ZeroSteps(n int) []int { return make([]int, n) }

@@ -51,6 +51,7 @@ func (p *Uncoordinated) Decide(obs Observation) Decision {
 func (p *Uncoordinated) Observe(Observation) {}
 
 func uniformLimits(n int, v float64) []float64 {
+	//hot:alloc-ok result escapes: callers keep the returned limit vector
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = v

@@ -900,8 +900,9 @@ func (e *Engine) epochRecord(idx int, window float64, energyDelta float64) Epoch
 		Index: idx,
 		Wall:  e.wall,
 		// hz is the engine's scratch; the record keeps its own copy.
-		CoreHz:    append([]float64(nil), hz...),
-		MemHz:     e.cfg.MemLadder.Hz(e.memStep),
+		CoreHz: append([]float64(nil), hz...),
+		MemHz:  e.cfg.MemLadder.Hz(e.memStep),
+		//hot:alloc-ok result escapes: the per-epoch record owns its slices
 		Slowdowns: make([]float64, len(hz)),
 	}
 	for i := range hz {
@@ -919,14 +920,14 @@ func (e *Engine) epochRecord(idx int, window float64, energyDelta float64) Epoch
 // zeroing: every element is fully overwritten before it is read.
 func resizeCoreOps(s []power.CoreOp, n int) []power.CoreOp {
 	if cap(s) < n {
-		return make([]power.CoreOp, n)
+		return make([]power.CoreOp, n) //hot:alloc-ok capacity miss: grow-only scratch, amortized to zero in steady state
 	}
 	return s[:n]
 }
 
 func resizeCoreObs(s []policy.CoreObs, n int) []policy.CoreObs {
 	if cap(s) < n {
-		return make([]policy.CoreObs, n)
+		return make([]policy.CoreObs, n) //hot:alloc-ok capacity miss: grow-only scratch, amortized to zero in steady state
 	}
 	return s[:n]
 }
