@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint escapes escapes-baseline test test-race bench bench-smoke bench-json bench-compare profile fmt fuzz-smoke fault-smoke serve-smoke
+.PHONY: check build vet fmt-check lint escapes escapes-baseline test test-race bench bench-smoke bench-json bench-compare bit-identity profile fmt fuzz-smoke fault-smoke serve-smoke
 
 ## check: the full gate — tier-1 verify + vet + gofmt + coscale-lint +
-## escape-analysis gate
-check: build vet fmt-check lint escapes test
+## escape-analysis gate + the parallel-search bit-identity property tests
+check: build vet fmt-check lint escapes test bit-identity
 
 build:
 	$(GO) build ./...
@@ -29,8 +29,19 @@ bench:
 ## bench-smoke)
 bench-smoke:
 	$(GO) test -run 'ZeroAlloc|DeterministicUnderReuse|GoldenBitIdentical' -count=1 . ./internal/sim
+	GOMAXPROCS=1 $(GO) test -run 'ZeroAlloc|DeterministicUnderReuse|GoldenBitIdentical' -count=1 . ./internal/sim
 	$(GO) test -bench 'BenchmarkSearch16Cores|BenchmarkEpochSimulation' -benchtime=1x -benchmem -run='^$$' .
 	$(MAKE) bench-compare
+
+## bit-identity: the parallel-vs-serial determinism gate behind DESIGN.md §11
+## — the seeded property tests and batch-equivalence tests under the race
+## detector, at both GOMAXPROCS=1 (forced-serial lane resolution) and the
+## machine default, so scheduler width can never reach a decision bit
+bit-identity:
+	GOMAXPROCS=1 $(GO) test -race -count=1 \
+		-run 'ParallelBitIdentical|ParallelDisableTablesAgrees|BatchDecideMatchesSequential|DecideAllOneShot|SearchStatsUnderBatch' ./internal/core
+	$(GO) test -race -count=1 \
+		-run 'ParallelBitIdentical|ParallelDisableTablesAgrees|BatchDecideMatchesSequential|DecideAllOneShot|SearchStatsUnderBatch' ./internal/core
 
 ## bench-json: regenerate BENCH_baseline.json (ns/op, allocs/op, figure
 ## wall-times; see DESIGN.md §7 for the schema)

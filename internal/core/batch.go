@@ -1,0 +1,98 @@
+package core
+
+import (
+	"runtime"
+
+	"coscale/internal/policy"
+)
+
+// DecideItem is one controller decision in a batch: controller, its epoch
+// observation, and the slot its decision lands in. As with Decide, Out
+// aliases the controller's scratch and is valid until that controller's
+// next decision; retain with Clone.
+type DecideItem struct {
+	C   *CoScale
+	Obs policy.Observation
+	Out policy.Decision
+}
+
+// Batcher runs batches of independent controller decisions across a
+// persistent set of worker lanes — coscale-serve's epoch fan-out and the
+// multi-engine sweeps, batched so the lanes and their scratch are reused
+// every epoch (zero steady-state allocations).
+//
+// Determinism needs no merge argument here: items are mutually independent
+// (each decision reads and writes only its own controller and its fixed
+// item slot), so lane scheduling cannot affect any output. The one rule is
+// that a controller must appear at most once per batch — two concurrent
+// Decide calls on one controller race on its scratch. Controllers inside a
+// batch should be serial (Options.Parallelism 1): the batch already fills
+// the machine with one decision per lane, and nested fan-out just adds
+// signalling. Results are unchanged either way.
+type Batcher struct {
+	pool  *workerPool
+	items []DecideItem // batch in flight; nil between runs
+	lanes int          // lanes participating in the current run
+}
+
+// NewBatcher returns a batcher with resolveLanes(parallelism) worker lanes
+// (0 = GOMAXPROCS; <= 1 decides inline). Lanes start lazily on the first
+// parallel Run; release them with Close (a finalizer backstops leaks).
+func NewBatcher(parallelism int) *Batcher {
+	b := &Batcher{}
+	if lanes := resolveLanes(parallelism); lanes > 1 {
+		b.pool = newWorkerPool(lanes)
+		runtime.SetFinalizer(b, (*Batcher).Close)
+	}
+	return b
+}
+
+// Close releases the batcher's worker lanes. Idempotent; must not be called
+// concurrently with Run.
+func (b *Batcher) Close() {
+	if b.pool != nil {
+		b.pool.close()
+		runtime.SetFinalizer(b, nil)
+	}
+}
+
+// Run decides every item, filling each item's Out slot. Inline when the
+// batcher is serial or the batch is trivial; otherwise each lane runs a
+// fixed contiguous item range.
+//
+//hot:path
+func (b *Batcher) Run(items []DecideItem) {
+	if b.pool == nil || len(items) < 2 {
+		for i := range items {
+			items[i].Out = items[i].C.Decide(items[i].Obs)
+		}
+		return
+	}
+	lanes := b.pool.lanes
+	if lanes > len(items) {
+		lanes = len(items)
+	}
+	b.items, b.lanes = items, lanes
+	b.pool.scatter(b, lanes)
+	b.items = nil // lanes must not pin the batch between runs
+}
+
+// runShard implements shardRunner: lane s decides its fixed contiguous item
+// range [s·len/lanes, (s+1)·len/lanes).
+//
+//hot:path
+func (b *Batcher) runShard(s int) {
+	items, lanes := b.items, b.lanes
+	for j := s * len(items) / lanes; j < (s+1)*len(items)/lanes; j++ {
+		items[j].Out = items[j].C.Decide(items[j].Obs)
+	}
+}
+
+// DecideAll is the one-shot convenience over Batcher: decide every item
+// with a transient worker set. Callers deciding every epoch should hold a
+// Batcher instead, so the lanes persist.
+func DecideAll(items []DecideItem, parallelism int) {
+	b := NewBatcher(parallelism)
+	defer b.Close()
+	b.Run(items)
+}

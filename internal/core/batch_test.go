@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"coscale/internal/trace"
+)
+
+// TestBatchDecideMatchesSequential checks the Batcher's contract: a batch
+// of independent controllers decided across worker lanes produces exactly
+// the decisions a sequential loop over twin controllers produces, epoch
+// after epoch (slack state advancing in lockstep on both sides).
+func TestBatchDecideMatchesSequential(t *testing.T) {
+	cfg := propCfg(32, 10, 8)
+	const k = 6
+	items := make([]DecideItem, k)
+	seq := make([]*CoScale, k)
+	for j := 0; j < k; j++ {
+		items[j] = DecideItem{C: must(NewWithOptions(cfg, Options{Parallelism: 1}))}
+		seq[j] = must(NewWithOptions(cfg, Options{Parallelism: 1}))
+	}
+	b := NewBatcher(4)
+	defer b.Close()
+	// Two identically seeded streams generate the same observation sequence
+	// for the batched and the sequential side.
+	rngA := trace.NewRand(77)
+	rngB := trace.NewRand(77)
+	for e := 0; e < 4; e++ {
+		for j := range items {
+			items[j].Obs = randObs(rngA, 32)
+		}
+		b.Run(items)
+		for j := 0; j < k; j++ {
+			obs := randObs(rngB, 32)
+			want := seq[j].Decide(obs)
+			requireSameDecision(t, "epoch "+itoa(e)+" item "+itoa(j), want, items[j].Out)
+			seq[j].Observe(obs)
+			items[j].C.Observe(items[j].Obs)
+		}
+	}
+}
+
+// TestBatchRunZeroAllocWarm gates the batched steady state: a persistent
+// Batcher re-running a warm batch must not allocate — each item's Decide is
+// already zero-alloc warm, and the batch fan-out adds only channel
+// handshakes on persistent lanes.
+func TestBatchRunZeroAllocWarm(t *testing.T) {
+	cfg := propCfg(32, 10, 8)
+	const k = 4
+	rng := trace.NewRand(9)
+	items := make([]DecideItem, k)
+	for j := range items {
+		items[j] = DecideItem{
+			C:   must(NewWithOptions(cfg, Options{Parallelism: 1})),
+			Obs: randObs(rng, 32),
+		}
+	}
+	b := NewBatcher(2)
+	defer b.Close()
+	b.Run(items) // warm-up: starts lanes, sizes every controller's scratch
+	b.Run(items)
+	avg := testing.AllocsPerRun(50, func() { b.Run(items) })
+	if avg != 0 {
+		t.Errorf("warm Batcher.Run allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestDecideAllOneShot covers the transient convenience wrapper, including
+// the inline small-batch path.
+func TestDecideAllOneShot(t *testing.T) {
+	cfg := propCfg(16, 10, 8)
+	rng := trace.NewRand(5)
+	obs := randObs(rng, 16)
+	ref := must(New(cfg))
+	want := ref.Decide(obs)
+	for _, par := range []int{1, 4} {
+		items := []DecideItem{{C: must(New(cfg)), Obs: obs}}
+		DecideAll(items, par)
+		requireSameDecision(t, "parallelism "+itoa(par), want, items[0].Out)
+	}
+}
+
+// TestSearchStatsUnderBatch pins that batching does not perturb per-
+// controller work counters: each controller's SearchStats after a batched
+// run equals its twin's after a sequential run.
+func TestSearchStatsUnderBatch(t *testing.T) {
+	cfg := propCfg(32, 10, 8)
+	const k = 3
+	items := make([]DecideItem, k)
+	seq := make([]*CoScale, k)
+	rngA := trace.NewRand(13)
+	rngB := trace.NewRand(13)
+	for j := 0; j < k; j++ {
+		items[j] = DecideItem{C: must(New(cfg)), Obs: randObs(rngA, 32)}
+		seq[j] = must(New(cfg))
+	}
+	b := NewBatcher(3)
+	defer b.Close()
+	b.Run(items)
+	for j := 0; j < k; j++ {
+		want := seq[j].Decide(randObs(rngB, 32))
+		_ = want
+		if got, exp := items[j].C.SearchStats(), seq[j].SearchStats(); got != exp {
+			t.Errorf("item %d: SearchStats %+v vs sequential %+v", j, got, exp)
+		}
+	}
+}

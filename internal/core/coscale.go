@@ -41,6 +41,13 @@ type Options struct {
 	// by construction, so this exists for the cross-check property test and
 	// for measuring the tables' speedup, not as a behavioral variant.
 	DisableTables bool
+	// Parallelism is the number of lanes the marginal scans shard across
+	// (DESIGN.md §11): 0 resolves to runtime.GOMAXPROCS(0) at construction,
+	// and any value <= 1 keeps the serial path — the ablation baseline and
+	// the right setting for many controllers sharing a machine (the serve
+	// worker pool already fills the cores with concurrent decisions).
+	// Decisions are bit-identical at every setting.
+	Parallelism int
 }
 
 // SearchStats counts the work of the most recent Decide call's search walk,
@@ -50,10 +57,15 @@ type Options struct {
 // memory marginal and one per committed group move). Per-move cost —
 // ns/op divided by Moves — is the scaling figure of merit: the number of
 // moves grows with the core count, so total Decide time conflates walk
-// length with per-step cost (DESIGN.md §10).
+// length with per-step cost (DESIGN.md §10). CoreEvals is the number of
+// per-core local marginal evaluations the eligibility scans ran (rebuild +
+// repair, bottom-step cores excluded); under parallel scans it is summed
+// from per-lane counters after the join, so it is race-free and equal to
+// the serial path's count at any parallelism.
 type SearchStats struct {
-	Moves int
-	Evals int
+	Moves     int
+	Evals     int
+	CoreEvals int
 }
 
 // SearchStats returns counters for the last Decide call's search.
@@ -86,6 +98,14 @@ type CoScale struct {
 	tmax     []float64  // all-max reference times for slack accounting
 	identity []int      // thread mapping fallback when ThreadIDs is nil
 
+	// Parallel marginal scans (parallel.go). pool is nil when the
+	// controller is serial (Options.Parallelism resolved to one lane).
+	pool        *workerPool
+	sc          scanCtx    // per-scan snapshot the lanes read
+	scanOut     []coreMarg // fixed per-item output slots
+	scanEvals   []int      // per-lane kernel-evaluation counts
+	minParallel int        // fan-out threshold; 0 = minParallelItems (tests lower it)
+
 	stats SearchStats // work counters for the last Decide's search
 }
 
@@ -100,7 +120,7 @@ func NewWithOptions(cfg policy.Config, opts Options) (*CoScale, error) {
 		return nil, err
 	}
 	n := cfg.NCores
-	return &CoScale{
+	c := &CoScale{
 		cfg:   cfg,
 		opts:  opts,
 		slack: policy.NewSlackBook(n, cfg.Gamma, cfg.Reserve),
@@ -118,7 +138,10 @@ func NewWithOptions(cfg policy.Config, opts Options) (*CoScale, error) {
 		merged:   make([]coreMarg, 0, n),
 		tmax:     make([]float64, n),
 		identity: make([]int, n),
-	}, nil
+		scanOut:  make([]coreMarg, n),
+	}
+	c.attachPool(opts.Parallelism)
+	return c, nil
 }
 
 // Name implements policy.Policy.
@@ -334,14 +357,19 @@ func (c *CoScale) memoryMarginal(ev *policy.Evaluator, st *searchState) marginal
 // rebuildCoreList recomputes the Figure 3 eligibility list from scratch into
 // st.coreList. (Incremental repair after a group move is handled by
 // repairCoreList; a full rebuild happens only on the first iteration or with
-// caching disabled.)
+// caching disabled.) The marginal scan runs through runScan — serial or
+// sharded per Options.Parallelism — into fixed per-core slots; compacting
+// the slots in core-index order below reproduces exactly the serial append
+// order, so the sort input is identical at any parallelism.
 //
 //hot:path
 func (c *CoScale) rebuildCoreList(ev *policy.Evaluator, st *searchState) {
+	n := c.cfg.NCores
+	c.runScan(ev, st, scanRebuild, n)
 	list := st.coreList[:0]
-	for i := 0; i < c.cfg.NCores; i++ {
-		if m, ok := c.coreMarginal(ev, st, i); ok {
-			list = append(list, m)
+	for j := 0; j < n; j++ {
+		if c.scanOut[j].core >= 0 {
+			list = append(list, c.scanOut[j])
 		}
 	}
 	st.coreList = list
@@ -365,51 +393,53 @@ func cmpDTPI(a, b coreMarg) int {
 	}
 }
 
-// coreMarginal locally estimates the effect of stepping core i down once,
-// holding the memory system at its current modelled latency.
+// marginalFor is the marginal-scan kernel: it locally estimates the effect
+// of stepping core i down once, holding the memory system at the scan
+// snapshot's modelled latency (c.sc, hoisted by setupScan). Both the serial
+// and the sharded executors run exactly this kernel over exactly this
+// snapshot, which is what makes the parallel scan bit-identical. An
+// ineligible core returns the core = -1 sentinel so the result can occupy a
+// fixed output slot; the bool reports whether the kernel evaluated the core
+// at all (false only at the ladder bottom), which feeds SearchStats.CoreEvals.
 //
 //hot:path
-func (c *CoScale) coreMarginal(ev *policy.Evaluator, st *searchState, i int) (coreMarg, bool) {
-	step := st.steps[i]
+func (c *CoScale) marginalFor(i int, pos int32) (coreMarg, bool) {
+	sc := &c.sc
+	step := sc.steps[i]
 	if c.cfg.CoreLadder.Bottom(step) {
-		return coreMarg{}, false
+		return coreMarg{core: -1}, false
 	}
-	lat := st.cur.MemLoad.Latency
+	lat := sc.lat
 	var tpiCur, tpiNext, pCur, pNext float64
-	if ev.UseTables {
-		// Memoized path: the table lookups are bit-identical to the direct
-		// CoreStats.TPI/CoreModel.Power calls below (DESIGN.md §10).
-		tbl, _ := ev.Tables()
-		tpiCur = tbl.TPIAt(i, step, lat)
-		tpiNext = tbl.TPIAt(i, step+1, lat)
+	if sc.useTables {
+		// Memoized path: the pair lookup computes the shared latency term
+		// once and is bit-identical to the direct CoreStats.TPI/
+		// CoreModel.Power calls below (DESIGN.md §10).
+		tpiCur, tpiNext = sc.tbl.TPIPairAt(i, step, lat)
 	} else {
-		stats := ev.Stats()[i]
+		stats := sc.ev.Stats()[i]
 		tpiCur = stats.TPI(c.cfg.CoreLadder.Hz(step), lat)
 		tpiNext = stats.TPI(c.cfg.CoreLadder.Hz(step+1), lat)
 	}
-	base := ev.BaselineTPI()[i]
+	base := sc.base[i]
 	slowAfter := tpiNext / base
 	if slowAfter > c.scaled[i] {
-		return coreMarg{}, false
+		return coreMarg{core: -1}, true
 	}
-	if ev.UseTables {
-		_, ptbl := ev.Tables()
-		pCur = ptbl.PowerAt(step, i, 1/tpiCur)
-		pNext = ptbl.PowerAt(step+1, i, 1/tpiNext)
+	if sc.useTables {
+		pCur = sc.ptbl.PowerAt(step, i, 1/tpiCur)
+		pNext = sc.ptbl.PowerAt(step+1, i, 1/tpiNext)
 	} else {
-		mix := ev.ObsCore(i).Mix
+		mix := sc.ev.ObsCore(i).Mix
 		pCur = c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step), c.cfg.CoreLadder.Hz(step), 1/tpiCur, mix)
 		pNext = c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step+1), c.cfg.CoreLadder.Hz(step+1), 1/tpiNext, mix)
 	}
-	cpuScale := c.cfg.Power.CPUScale
-	if cpuScale <= 0 {
-		cpuScale = 1
-	}
 	return coreMarg{
 		core:   int32(i),
+		pos:    pos,
 		dTPI:   tpiNext - tpiCur,
 		dPerf:  (tpiNext - tpiCur) / base,
-		dPower: (pCur - pNext) * cpuScale,
+		dPower: (pCur - pNext) * sc.cpuScale,
 	}, true
 }
 
@@ -490,11 +520,14 @@ func (c *CoScale) applyGroup(ev *policy.Evaluator, st *searchState, groupLen int
 //hot:path
 func (c *CoScale) repairCoreList(ev *policy.Evaluator, st *searchState, groupLen int) {
 	kept := st.coreList[groupLen:]
+	// Scan the moved prefix through the same fixed-slot machinery as the
+	// rebuild (the kernel reads st.coreList[j].core and stamps pos = j);
+	// compacting in slot order reproduces the serial append order exactly.
+	c.runScan(ev, st, scanRepair, groupLen)
 	fresh := c.fresh[:0]
 	for j := 0; j < groupLen; j++ {
-		if m, ok := c.coreMarginal(ev, st, int(st.coreList[j].core)); ok {
-			m.pos = int32(j)
-			fresh = append(fresh, m)
+		if c.scanOut[j].core >= 0 {
+			fresh = append(fresh, c.scanOut[j])
 		}
 	}
 	c.fresh = fresh

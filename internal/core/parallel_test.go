@@ -1,0 +1,169 @@
+package core
+
+// Property tests for the sharded marginal scans (DESIGN.md §11): parallel
+// candidate scoring must be *bit-identical* to the serial walk — same step
+// vectors, same predicted energy bits, same work counters — across core
+// counts, ladder shapes, lane counts, and randomized observations. The
+// fan-out threshold is forced to 1 so even 16-core configs exercise real
+// cross-goroutine scans; run under -race this doubles as the data-race
+// proof for the shared scan snapshot.
+
+import (
+	"math"
+	"testing"
+
+	"coscale/internal/policy"
+	"coscale/internal/trace"
+)
+
+// parCS builds a controller with the given lane count, forcing the fan-out
+// threshold down so every scan shards regardless of core count.
+func parCS(t *testing.T, cfg policy.Config, parallelism int) *CoScale {
+	t.Helper()
+	cs := must(NewWithOptions(cfg, Options{Parallelism: parallelism}))
+	cs.minParallel = 1
+	t.Cleanup(cs.Close)
+	return cs
+}
+
+func requireSameDecision(t *testing.T, ctx string, want, got policy.Decision) {
+	t.Helper()
+	if got.MemStep != want.MemStep {
+		t.Fatalf("%s: MemStep %d vs serial %d", ctx, got.MemStep, want.MemStep)
+	}
+	for i := range want.CoreSteps {
+		if got.CoreSteps[i] != want.CoreSteps[i] {
+			t.Fatalf("%s: CoreSteps[%d] %d vs serial %d",
+				ctx, i, got.CoreSteps[i], want.CoreSteps[i])
+		}
+	}
+}
+
+// TestParallelBitIdenticalToSerial drives serial, 2-lane, and 8-lane
+// controllers through identical decision/observation sequences and requires
+// exact agreement: the chosen steps, the Float64bits of the predicted
+// energy at the chosen point, and the SearchStats work counters (CoreEvals
+// is summed from per-lane counters, so equality here is the no-undercount
+// check). Slack accumulates across iterations, so later epochs search from
+// shifted feasibility frontiers rather than repeating the first walk.
+func TestParallelBitIdenticalToSerial(t *testing.T) {
+	rng := trace.NewRand(4242)
+	combos := []struct{ n, core, mem, iters int }{
+		{16, 10, 8, 120},
+		{16, 5, 3, 80},
+		{64, 10, 8, 70},
+		{64, 16, 12, 50},
+		{128, 10, 8, 40},
+		{256, 7, 5, 30},
+		{1024, 10, 8, 12},
+	}
+	var eval policy.Evaluator // referee for the energy-bits comparison
+	iters := 0
+	for _, cb := range combos {
+		cfg := propCfg(cb.n, cb.core, cb.mem)
+		serial := parCS(t, cfg, 1)
+		p2 := parCS(t, cfg, 2)
+		p8 := parCS(t, cfg, 8)
+		for k := 0; k < cb.iters; k++ {
+			iters++
+			obs := randObs(rng, cb.n)
+			dS := serial.Decide(obs)
+			d2 := p2.Decide(obs)
+			d8 := p8.Decide(obs)
+			ctx := "iter " + itoa(iters) + " n=" + itoa(cb.n)
+			requireSameDecision(t, ctx+" lanes=2", dS, d2)
+			requireSameDecision(t, ctx+" lanes=8", dS, d8)
+			sS := serial.SearchStats()
+			if s2 := p2.SearchStats(); s2 != sS {
+				t.Fatalf("%s: SearchStats diverge: lanes=2 %+v vs serial %+v", ctx, s2, sS)
+			}
+			if s8 := p8.SearchStats(); s8 != sS {
+				t.Fatalf("%s: SearchStats diverge: lanes=8 %+v vs serial %+v", ctx, s8, sS)
+			}
+			if sS.Moves > 0 && sS.CoreEvals == 0 {
+				t.Fatalf("%s: committed %d moves with zero core evaluations", ctx, sS.Moves)
+			}
+
+			eval.Reset(cfg, obs)
+			var eS, e8 policy.Eval
+			eval.EvaluateInto(&eS, dS.CoreSteps, dS.MemStep)
+			eval.EvaluateInto(&e8, d8.CoreSteps, d8.MemStep)
+			if math.Float64bits(eS.SER) != math.Float64bits(e8.SER) {
+				t.Fatalf("%s: SER bits diverge: serial %v (%#x) vs lanes=8 %v (%#x)",
+					ctx, eS.SER, math.Float64bits(eS.SER), e8.SER, math.Float64bits(e8.SER))
+			}
+
+			serial.Observe(obs)
+			p2.Observe(obs)
+			p8.Observe(obs)
+		}
+	}
+	if iters < 400 {
+		t.Fatalf("only %d property iterations, want >= 400", iters)
+	}
+}
+
+// itoa avoids pulling fmt into every failure message the hot assertion loop
+// constructs (strconv-free: test-only, small positive ints).
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestParallelDecideZeroAllocWarm gates the fan-out path's steady state:
+// once the lanes are running and every scratch is sized, a sharded Decide
+// must not allocate — the scan snapshot, output slots, and per-lane
+// counters are all reused, and the channel handshakes are allocation-free.
+func TestParallelDecideZeroAllocWarm(t *testing.T) {
+	cfg := propCfg(64, 10, 10)
+	cs := parCS(t, cfg, 2)
+	rng := trace.NewRand(7)
+	a := randObs(rng, 64)
+	b := randObs(rng, 64)
+	cs.Decide(a) // warm-up: starts lanes, sizes scratch and tables
+	cs.Decide(b)
+	obs := [2]policy.Observation{a, b}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		cs.Decide(obs[i&1])
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("warm parallel Decide allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestParallelDisableTablesAgrees covers the direct-evaluation kernel under
+// fan-out (the ablation nobody runs in production but the cross-check
+// property depends on): serial and sharded NoTables controllers must agree
+// exactly, and both must agree with the serial tables controller.
+func TestParallelDisableTablesAgrees(t *testing.T) {
+	cfg := propCfg(48, 10, 8)
+	ser := must(NewWithOptions(cfg, Options{DisableTables: true}))
+	par := must(NewWithOptions(cfg, Options{DisableTables: true, Parallelism: 4}))
+	par.minParallel = 1
+	t.Cleanup(par.Close)
+	tab := parCS(t, cfg, 4)
+	rng := trace.NewRand(31)
+	for k := 0; k < 25; k++ {
+		obs := randObs(rng, 48)
+		dS := ser.Decide(obs)
+		dP := par.Decide(obs)
+		dT := tab.Decide(obs)
+		ctx := "iter " + itoa(k)
+		requireSameDecision(t, ctx+" notables-parallel", dS, dP)
+		requireSameDecision(t, ctx+" tables-parallel", dS, dT)
+		ser.Observe(obs)
+		par.Observe(obs)
+		tab.Observe(obs)
+	}
+}

@@ -105,6 +105,12 @@ type Runner struct {
 	cache     cache.Flight[string, *Outcome]
 	baselines cache.Flight[string, *sim.Result]
 
+	// tables is the shared per-platform table cache (policy.TableCache)
+	// every policy the runner constructs draws from: a sweep of many
+	// policies and workloads over one platform builds the ladder columns
+	// and memory queueing models once, not once per evaluator.
+	tables policy.TableCache
+
 	baselineRuns atomic.Int64 // baseline simulations actually executed
 }
 
@@ -113,6 +119,11 @@ type Runner struct {
 func NewRunner(budget uint64) *Runner {
 	return &Runner{InstrBudget: budget}
 }
+
+// Tables exposes the runner's shared per-platform table cache, for callers
+// (the serving layer) that construct policies themselves but should still
+// share one platform build with the runner's own simulations.
+func (r *Runner) Tables() *policy.TableCache { return &r.tables }
 
 // BaselineRuns reports how many baseline simulations the runner actually
 // executed (as opposed to served from the shared per-(mix, keyExtra) cache) —
@@ -268,7 +279,9 @@ func (r *Runner) runOne(ctx context.Context, mixName string, pol PolicyName, mut
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	p, err := NewPolicy(pol, cfg.PolicyConfig())
+	pcfg := cfg.PolicyConfig()
+	pcfg.Tables = &r.tables
+	p, err := NewPolicy(pol, pcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,14 @@ import (
 // default system. One definition keeps `go test -bench Search` and the
 // BENCH_baseline.json generator measuring the same workload.
 func SearchBenchObs(n int) (policy.Config, policy.Observation) {
+	return SearchBenchObsSeed(n, 11)
+}
+
+// SearchBenchObsSeed is SearchBenchObs with the intensity-drawing seed
+// exposed, for batched-decision benchmarks that want each controller in the
+// batch deciding over a distinct (but still deterministic) observation.
+// Seed 11 reproduces SearchBenchObs exactly.
+func SearchBenchObsSeed(n int, seed uint64) (policy.Config, policy.Observation) {
 	cfg := policy.Config{
 		NCores:     n,
 		CoreLadder: freq.DefaultCoreLadder(),
@@ -32,7 +40,7 @@ func SearchBenchObs(n int) (policy.Config, policy.Observation) {
 		Cores:     make([]policy.CoreObs, n),
 		MemRate:   2e8, MemLatency: 60e-9, UtilBus: 0.3, BusyFrac: 0.6,
 	}
-	rng := trace.NewRand(11)
+	rng := trace.NewRand(seed)
 	for i := range obs.Cores {
 		beta := 0.0005 + rng.Float64()*0.01
 		obs.Cores[i] = policy.CoreObs{

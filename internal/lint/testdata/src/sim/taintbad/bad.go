@@ -19,3 +19,21 @@ func fanOut(n int) {
 }
 
 func work(int) {}
+
+// pool mirrors internal/core's persistent worker set: start launches lanes
+// without a reasoned ignore, so dettaint must flag the go statement even
+// though the shard protocol could well be deterministic.
+type pool struct {
+	job chan int
+}
+
+func (p *pool) start(lanes int) {
+	for i := 0; i < lanes; i++ {
+		go p.worker()
+	}
+}
+
+func (p *pool) worker() {
+	for range p.job {
+	}
+}

@@ -8,3 +8,21 @@ import "coscale/internal/dtutil/clock"
 func step(xs []int) []int {
 	return clock.Sorted(xs)
 }
+
+// pool mirrors internal/core's persistent worker set; the go statement
+// carries the reasoned ignore the rule demands, so dettaint stays silent.
+type pool struct {
+	job chan int
+}
+
+func (p *pool) start(lanes int) {
+	for i := 0; i < lanes; i++ {
+		//lint:ignore dettaint fixed index shards merged in index order after the channel join
+		go p.worker()
+	}
+}
+
+func (p *pool) worker() {
+	for range p.job {
+	}
+}

@@ -186,6 +186,20 @@ func (c *ModelCache) Reset(p Params, hz []float64) {
 	}
 }
 
+// Prebuild materializes every step's model, so subsequent At calls are pure
+// reads. A cache meant to be shared across goroutines (the per-platform
+// table cache) must be prebuilt: the lazy first-use build in At is a data
+// race under concurrent readers. ModelAt is a pure function of (Params, hz),
+// so eager and lazy builds produce identical models.
+func (c *ModelCache) Prebuild() {
+	for s := range c.built {
+		if !c.built[s] {
+			c.models[s] = c.p.ModelAt(c.hz[s])
+			c.built[s] = true
+		}
+	}
+}
+
 // At returns the memoized model for ladder step s, building it on first use.
 //
 //hot:path

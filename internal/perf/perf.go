@@ -365,21 +365,26 @@ func ResizeInts(s []int, n int) []int {
 // the previous evaluation — zero of them on a memory-frequency move.
 //
 // Columns are built lazily on first use and their backing arrays are reused
-// across epochs, so the steady state allocates nothing. A StepTable is not
-// safe for concurrent use.
+// across epochs, so the steady state allocates nothing. Column storage is
+// struct-of-arrays: every step's column lives in one flat backing array at
+// stride n, so a marginal scan walking cores [lo, hi) at one step reads a
+// single contiguous run of float64 lanes and adjacent columns prefetch
+// linearly. A StepTable is not safe for concurrent mutation; after Prebuild,
+// TPIAt/TPIPairAt/FixedCol are pure reads and safe to share across scanning
+// goroutines until the next Reset.
 type StepTable struct {
 	stats []CoreStats // per-core statistics (aliases the caller's epoch buffer)
 	hz    []float64   // candidate core frequency per ladder step
 
-	fixedCol [][]float64 // [step][core] CPIBase/hz + Alpha*StallL2
-	built    []bool      // fixedCol[step] is valid
+	cols  []float64 // flat [step*n + core] CPIBase/hz + Alpha*StallL2
+	built []bool    // column s (cols[s*n : (s+1)*n]) is valid
 
 	beta    []float64
 	mlpn    []float64 // MLP clamped to >= 1
 	mpi     []float64
 	allMLP1 bool
 
-	fixed []float64 // working row: fixedCol[cur[i]][i]
+	fixed []float64 // working row: FixedCol(cur[i])[i]
 	cur   []int     // step the working row reflects per core; -1 = unset
 }
 
@@ -394,10 +399,10 @@ func (t *StepTable) Reset(stats []CoreStats, stepHz []float64) {
 	t.stats = stats
 	t.hz = stepHz
 	steps := len(stepHz)
-	if cap(t.fixedCol) < steps {
-		t.fixedCol = make([][]float64, steps) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
+	if cap(t.cols) < steps*n {
+		t.cols = make([]float64, steps*n) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
 	}
-	t.fixedCol = t.fixedCol[:steps]
+	t.cols = t.cols[:steps*n]
 	if cap(t.built) < steps {
 		t.built = make([]bool, steps) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
 	}
@@ -431,30 +436,43 @@ func (t *StepTable) Reset(stats []CoreStats, stepHz []float64) {
 }
 
 // FixedCol returns the memoized latency-independent TPI column for ladder
-// step s, building it on first use after a Reset.
+// step s, building it on first use after a Reset. The returned slice is a
+// view into the table's flat column store, valid until the next Reset.
 //
 //hot:path
 func (t *StepTable) FixedCol(s int) []float64 {
 	if !t.built[s] {
 		t.buildCol(s)
 	}
-	return t.fixedCol[s]
+	n := len(t.stats)
+	return t.cols[s*n : s*n+n]
 }
 
 // buildCol fills one column. Runs at most Steps() times per epoch (cold
-// relative to the per-evaluation paths), reusing the column's backing array.
+// relative to the per-evaluation paths) into the flat column store.
 func (t *StepTable) buildCol(s int) {
-	col := t.fixedCol[s]
-	if cap(col) < len(t.stats) {
-		col = make([]float64, len(t.stats)) //hot:alloc-ok capacity miss: column backing array is reused across epochs
-	}
-	col = col[:len(t.stats)]
+	n := len(t.stats)
+	col := t.cols[s*n : s*n+n]
 	hz := t.hz[s]
 	for i, c := range t.stats {
 		col[i] = c.CPIBase/hz + c.Alpha*c.StallL2
 	}
-	t.fixedCol[s] = col
 	t.built[s] = true
+}
+
+// Prebuild materializes every column, so subsequent TPIAt/TPIPairAt/FixedCol
+// calls are pure reads. Sharded marginal scans call it before fanning out —
+// the lazy first-use build is a data race when shards touch one unbuilt
+// column concurrently. Column contents are a pure function of (stats, hz),
+// so build order — eager or lazy — cannot change a single bit of them.
+//
+//hot:path
+func (t *StepTable) Prebuild() {
+	for s := range t.built {
+		if !t.built[s] {
+			t.buildCol(s)
+		}
+	}
 }
 
 // TPIAt predicts core i's TPI at ladder step s under memory latency lat —
@@ -465,6 +483,18 @@ func (t *StepTable) buildCol(s int) {
 //hot:path
 func (t *StepTable) TPIAt(i, s int, lat float64) float64 {
 	return t.FixedCol(s)[i] + t.beta[i]*lat/t.mlpn[i]
+}
+
+// TPIPairAt returns (TPIAt(i, s, lat), TPIAt(i, s+1, lat)) computing the
+// shared latency term beta·lat/mlp once — the same operations on the same
+// values produce the same bits, so each component is bit-identical to its
+// separate TPIAt call. Marginal scoring reads exactly this adjacent-step
+// pair per core, and the pair call also hoists one column bounds check.
+//
+//hot:path
+func (t *StepTable) TPIPairAt(i, s int, lat float64) (cur, next float64) {
+	blat := t.beta[i] * lat / t.mlpn[i]
+	return t.FixedCol(s)[i] + blat, t.FixedCol(s + 1)[i] + blat
 }
 
 // gather updates the working fixed row to the given step vector, touching

@@ -38,6 +38,15 @@ type Config struct {
 	// grazed by overheads the performance model does not see. Defaults
 	// (via sim.Config) to roughly one core plus one memory transition.
 	Reserve float64
+
+	// Tables, when set, is a shared per-platform table cache: evaluators
+	// on the table path fetch their platform-derived columns (ladder
+	// Hz/Volts tables, per-step memory queueing models) from it instead of
+	// rebuilding them, so sibling controllers over one platform — a sweep
+	// job's cells, a batched DecideAll — build those tables once per
+	// process. Nil keeps the private per-evaluator build; results are
+	// bit-identical either way.
+	Tables *TableCache
 }
 
 // Limits computes the per-core slowdown limits for the next epoch from
@@ -201,16 +210,18 @@ type Evaluator struct {
 	tmaxEval Eval
 
 	// Memoized per-epoch prediction tables (active when UseTables is set)
-	// plus the step-indexed ladder columns they are built over.
-	tbl       perf.StepTable
-	ptbl      power.CoreTable
-	memModels memsys.ModelCache
-	mixes     []trace.InstrMix
-	l2pi      []float64 // L2PerInstr per core
-	coreHzTab []float64 // CoreLadder Hz/Volts per step
-	coreVTab  []float64
-	memHzTab  []float64 // MemLadder Hz/Volts per step
-	memVTab   []float64
+	// plus the platform-derived columns they are built over. plat is
+	// fetched from Cfg.Tables when set (shared per-platform build) and
+	// built privately otherwise; platCore/platMem/platMemP remember the
+	// platform it reflects so per-decision Resets skip the rebuild.
+	tbl      perf.StepTable
+	ptbl     power.CoreTable
+	mixes    []trace.InstrMix
+	l2pi     []float64 // L2PerInstr per core
+	plat     *PlatformTables
+	platCore *freq.Ladder
+	platMem  *freq.Ladder
+	platMemP memsys.Params
 }
 
 // Eval is the predicted outcome of one frequency combination.
@@ -269,9 +280,10 @@ func (ev *Evaluator) Reset(cfg Config, obs Observation) {
 }
 
 // resetTables re-points the memoized prediction tables at the new epoch:
-// the step-indexed ladder columns, the per-core instruction mixes and L2
-// rates the power path needs, and the three component tables themselves.
-// Every column is invalidated; backing arrays are reused.
+// the per-core instruction mixes and L2 rates the power path needs, the
+// platform-derived ladder/model columns (fetched or rebuilt only when the
+// platform changed), and the two per-epoch component tables themselves.
+// Every per-epoch column is invalidated; backing arrays are reused.
 //
 //hot:path
 func (ev *Evaluator) resetTables() {
@@ -282,25 +294,31 @@ func (ev *Evaluator) resetTables() {
 		ev.mixes[i] = ev.obs.Cores[i].Mix
 		ev.l2pi[i] = ev.obs.Cores[i].L2PerInstr
 	}
-	cl, ml := ev.Cfg.CoreLadder, ev.Cfg.MemLadder
-	cs, ms := cl.Steps(), ml.Steps()
-	ev.coreHzTab = perf.GrowFloats(ev.coreHzTab, cs)
-	ev.coreVTab = perf.GrowFloats(ev.coreVTab, cs)
-	for s := 0; s < cs; s++ {
-		p := cl.Point(s)
-		ev.coreHzTab[s] = p.Hz
-		ev.coreVTab[s] = p.Volts
+	ev.ensurePlatform()
+	ev.tbl.Reset(ev.stats, ev.plat.CoreHz)
+	ev.ptbl.Reset(ev.Cfg.Power.Core, ev.plat.CoreHz, ev.plat.CoreV, ev.mixes)
+}
+
+// ensurePlatform points ev.plat at the tables for Cfg's platform, fetching
+// from the shared Cfg.Tables cache when one is wired in and building
+// privately otherwise. The platform is re-derived only when it actually
+// changed (ladder identity plus memory parameters), so the per-decision
+// Reset does no ladder work at all in steady state — and shared-cache mode
+// does it once per process per platform.
+//
+//hot:path
+func (ev *Evaluator) ensurePlatform() {
+	cfg := &ev.Cfg
+	if ev.plat != nil && ev.platCore == cfg.CoreLadder && ev.platMem == cfg.MemLadder &&
+		ev.platMemP == cfg.Mem {
+		return
 	}
-	ev.memHzTab = perf.GrowFloats(ev.memHzTab, ms)
-	ev.memVTab = perf.GrowFloats(ev.memVTab, ms)
-	for s := 0; s < ms; s++ {
-		p := ml.Point(s)
-		ev.memHzTab[s] = p.Hz
-		ev.memVTab[s] = p.Volts
+	if cfg.Tables != nil {
+		ev.plat = cfg.Tables.Get(ev.Cfg)
+	} else {
+		ev.plat = BuildPlatformTables(ev.Cfg)
 	}
-	ev.tbl.Reset(ev.stats, ev.coreHzTab)
-	ev.ptbl.Reset(ev.Cfg.Power.Core, ev.coreHzTab, ev.coreVTab, ev.mixes)
-	ev.memModels.Reset(ev.Cfg.Mem, ev.memHzTab)
+	ev.platCore, ev.platMem, ev.platMemP = cfg.CoreLadder, cfg.MemLadder, cfg.Mem
 }
 
 // Baseline returns the all-max evaluation (the SER denominator).
@@ -433,7 +451,7 @@ func (ev *Evaluator) evaluateInto(dst *Eval, coreSteps []int, memStep int) {
 //
 //hot:path
 func (ev *Evaluator) evaluateTablesInto(dst *Eval, coreSteps []int, memStep int) {
-	ev.Solver.SolveTable(&ev.solveRes, &ev.tbl, coreSteps, ev.memModels.At(memStep))
+	ev.Solver.SolveTable(&ev.solveRes, &ev.tbl, coreSteps, ev.plat.Models.At(memStep))
 	n := len(ev.solveRes.TPI)
 	dst.TPI = perf.GrowFloats(dst.TPI, n)
 	copy(dst.TPI, ev.solveRes.TPI)
@@ -487,8 +505,8 @@ func (ev *Evaluator) finishTables(e *Eval, coreSteps []int, memStep int, memRate
 	// Split traffic into reads and writes in the observed proportion; the
 	// energy model treats them symmetrically anyway.
 	u := power.MemUsage{
-		BusHz:     ev.memHzTab[memStep],
-		MCVolts:   ev.memVTab[memStep],
+		BusHz:     ev.plat.MemHz[memStep],
+		MCVolts:   ev.plat.MemV[memStep],
 		ReadRate:  memRate * 0.8,
 		WriteRate: memRate * 0.2,
 		ActRate:   memRate,

@@ -13,12 +13,17 @@ import "coscale/internal/trace"
 // into the search's marginal-scoring loops.
 //
 // Backing arrays are reused across Resets, so the steady state allocates
-// nothing. A CoreTable is not safe for concurrent use.
+// nothing. Per-instruction energies are stored struct-of-arrays: every
+// step's column occupies a contiguous stride of one flat backing array, so
+// scans over core ranges at a fixed step stay cache-line-friendly. Reset
+// fills the table completely, so afterwards PowerAt is a pure read and safe
+// to share across scanning goroutines until the next Reset.
 type CoreTable struct {
-	dynClock []float64   // [step] PClock·s²·(hz/FNom), s = volts/VNom
-	leak     []float64   // [step] PLeak·s
-	eMix     []float64   // [core] voltage-independent mix energy EBase + ΣEclass·mix
-	epi      [][]float64 // [step][core] EnergyPerInstr(volts[step], mixes[core])
+	dynClock []float64 // [step] PClock·s²·(hz/FNom), s = volts/VNom
+	leak     []float64 // [step] PLeak·s
+	eMix     []float64 // [core] voltage-independent mix energy EBase + ΣEclass·mix
+	epi      []float64 // flat [step*n + core] EnergyPerInstr(volts[step], mixes[core])
+	n        int       // cores per column (the epi stride)
 }
 
 // Reset re-points the table at core model m, the candidate (hz, volts)
@@ -37,10 +42,11 @@ func (t *CoreTable) Reset(m CoreModel, hz, volts []float64, mixes []trace.InstrM
 		t.leak = make([]float64, steps) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
 	}
 	t.leak = t.leak[:steps]
-	if cap(t.epi) < steps {
-		t.epi = make([][]float64, steps) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
+	t.n = len(mixes)
+	if cap(t.epi) < steps*t.n {
+		t.epi = make([]float64, steps*t.n) //hot:alloc-ok capacity miss: runs once until the ladder-sized scratch is warm
 	}
-	t.epi = t.epi[:steps]
+	t.epi = t.epi[:steps*t.n]
 	for s := 0; s < steps; s++ {
 		sv := volts[s] / m.VNom
 		t.dynClock[s] = m.PClock * sv * sv * (hz[s] / m.FNom)
@@ -58,16 +64,11 @@ func (t *CoreTable) Reset(m CoreModel, hz, volts []float64, mixes []trace.InstrM
 		t.eMix[i] = m.EBase + m.EALU*mix.ALU + m.EFPU*mix.FPU + m.EBranch*mix.Branch + m.ELoadStore*mix.LoadStore
 	}
 	for s := 0; s < steps; s++ {
-		col := t.epi[s]
-		if cap(col) < len(t.eMix) {
-			col = make([]float64, len(t.eMix)) //hot:alloc-ok capacity miss: runs once until the core-count scratch is warm
-		}
-		col = col[:len(t.eMix)]
+		col := t.epi[s*t.n : s*t.n+t.n]
 		sv := volts[s] / m.VNom
 		for i, e := range t.eMix {
 			col[i] = e * sv * sv
 		}
-		t.epi[s] = col
 	}
 }
 
@@ -77,5 +78,5 @@ func (t *CoreTable) Reset(m CoreModel, hz, volts []float64, mixes []trace.InstrM
 //
 //hot:path
 func (t *CoreTable) PowerAt(s, i int, ips float64) float64 {
-	return t.dynClock[s] + t.epi[s][i]*ips + t.leak[s]
+	return t.dynClock[s] + t.epi[s*t.n+i]*ips + t.leak[s]
 }

@@ -91,8 +91,11 @@ func (m *metrics) quantiles() (p50, p99 float64) {
 }
 
 // write renders the plaintext exposition format: one "name value" line per
-// metric, Prometheus-compatible without client libraries.
-func (m *metrics) write(w io.Writer, uptime time.Duration) {
+// metric, Prometheus-compatible without client libraries. tablesBuilds and
+// tablesHits come from the runner's shared platform-table cache
+// (policy.TableCache.Stats) — the one serving counter not owned by this
+// struct, passed in at scrape time.
+func (m *metrics) write(w io.Writer, uptime time.Duration, tablesBuilds, tablesHits int64) {
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	hitRate := 0.0
 	if hits+misses > 0 {
@@ -115,6 +118,8 @@ func (m *metrics) write(w io.Writer, uptime time.Duration) {
 	fmt.Fprintf(w, "coscale_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "coscale_cache_misses_total %d\n", misses)
 	fmt.Fprintf(w, "coscale_cache_hit_rate %g\n", hitRate)
+	fmt.Fprintf(w, "coscale_tables_builds_total %d\n", tablesBuilds)
+	fmt.Fprintf(w, "coscale_tables_cache_hits_total %d\n", tablesHits)
 	fmt.Fprintf(w, "coscale_job_latency_seconds{quantile=\"0.5\"} %g\n", p50)
 	fmt.Fprintf(w, "coscale_job_latency_seconds{quantile=\"0.99\"} %g\n", p99)
 	fmt.Fprintf(w, "coscale_search_decisions_total %d\n", m.searchCount.Load())

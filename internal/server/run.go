@@ -130,7 +130,12 @@ func (s *Server) runCell(ctx context.Context, q SimulateRequest, onEpoch func(si
 	}
 	cfg := sim.Config{Mix: workload.MustGet(q.Workload)}
 	q.mutate(&cfg)
-	pol, err := experiments.NewPolicy(experiments.PolicyName(q.Policy), cfg.PolicyConfig())
+	// Draw the platform tables from the runner's shared cache: a sweep's
+	// worth of identical-platform cells builds the ladder columns and memory
+	// models once across the whole worker pool, not once per evaluator.
+	pcfg := cfg.PolicyConfig()
+	pcfg.Tables = s.runner.Tables()
+	pol, err := experiments.NewPolicy(experiments.PolicyName(q.Policy), pcfg)
 	if err != nil {
 		return nil, err
 	}

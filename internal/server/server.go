@@ -202,7 +202,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, time.Since(s.started))
+	builds, hits := s.runner.Tables().Stats()
+	s.metrics.write(w, time.Since(s.started), builds, hits)
 	return nil
 }
 

@@ -222,6 +222,15 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("cached result differs from original:\n%s\nvs\n%s", second.Result, first.Result)
 	}
 
+	// A small sweep over two workloads on the identical default platform:
+	// every cell's evaluators draw their platform tables from the runner's
+	// shared cache, so the sweep adds cache hits but no new builds.
+	sweep := SweepRequest{Workloads: []string{"ILP1", "MID1"}, Policies: []string{"CoScale"}, Instructions: 2_000_000}
+	resp, body = postJSON(t, client, ts.URL+"/v1/sweep?wait=1", sweep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep job: status %d: %s", resp.StatusCode, body)
+	}
+
 	// /metrics reflects all of the above.
 	status, mbody := getJSON(t, client, ts.URL+"/metrics")
 	if status != http.StatusOK {
@@ -246,6 +255,16 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if v := metricValue(t, m, "coscale_jobs_running"); v != 0 {
 		t.Errorf("coscale_jobs_running = %v, want 0", v)
+	}
+	// Every policy run above — the streamed jobs, the small simulate pair,
+	// and the whole sweep — described the identical default platform, so the
+	// shared table cache built it exactly once and served every other
+	// evaluator from that build.
+	if v := metricValue(t, m, "coscale_tables_builds_total"); v != 1 {
+		t.Errorf("coscale_tables_builds_total = %v, want exactly 1 (identical platforms share one build)", v)
+	}
+	if v := metricValue(t, m, "coscale_tables_cache_hits_total"); v < 3 {
+		t.Errorf("coscale_tables_cache_hits_total = %v, want >= 3", v)
 	}
 
 	// Graceful drain: returns once idle, and submissions refuse with 503.

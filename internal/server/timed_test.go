@@ -81,7 +81,7 @@ func TestObserveSearchHighWaterMark(t *testing.T) {
 		t.Errorf("searchSumNs = %d, want 16000", got)
 	}
 	var sb strings.Builder
-	m.write(&sb, time.Second)
+	m.write(&sb, time.Second, 0, 0)
 	out := sb.String()
 	for _, want := range []string{
 		"coscale_search_decisions_total 3\n",
