@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint escapes escapes-baseline test test-race bench bench-smoke bench-json bench-compare bit-identity profile fmt fuzz-smoke fault-smoke serve-smoke
+.PHONY: check build vet fmt-check lint escapes escapes-baseline test test-race bench bench-smoke bench-json bench-compare bit-identity profile fmt fuzz-smoke fault-smoke serve-smoke fleet-smoke
 
 ## check: the full gate — tier-1 verify + vet + gofmt + coscale-lint +
 ## escape-analysis gate + the parallel-search bit-identity property tests
@@ -84,6 +84,15 @@ fault-smoke:
 ## serve-smoke job)
 serve-smoke:
 	$(GO) test -race -count=1 ./internal/server ./internal/cache ./internal/buildinfo ./cmd/coscale-serve
+
+## fleet-smoke: the fault-tolerant orchestration suite under the race
+## detector — the seeded chaos e2e (a worker killed mid-sweep, dropped
+## heartbeats, cut streams; results bit-identical to the single-node runner),
+## coordinator crash/restart recovery from the journal with zero
+## recomputation, torn-tail journal recovery, and the lease/ring/backoff/
+## chaos unit tests (mirrors CI's fleet-smoke job; see DESIGN.md §12)
+fleet-smoke:
+	$(GO) test -race -count=1 ./internal/fleet ./cmd/coscale-fleet
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"coscale/internal/fleet"
+)
+
+// TestBootShedShutdown boots the coordinator on an ephemeral port with no
+// workers, verifies liveness, the not-ready readiness signal, and the
+// 503/Retry-After shed for a sweep with zero live workers, then delivers
+// SIGTERM and requires a clean shutdown.
+func TestBootShedShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	logger := log.New(io.Discard, "", 0)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ln, logger, fleet.Config{
+			JournalPath: filepath.Join(t.TempDir(), "fleet.journal"),
+			Logger:      logger,
+		})
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// No workers: not ready, and sweeps are shed with a retry hint.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no workers: status %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/fleet/sweeps", "application/json",
+		bytes.NewReader([]byte(`{"workloads":["MEM1"],"instructions":2000000}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("sweep with no workers: status %d: %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if !strings.Contains(string(body), "no live workers") {
+		t.Fatalf("shed body %q does not explain the degraded mode", body)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown did not complete within 30s of SIGTERM")
+	}
+}

@@ -23,7 +23,7 @@ func TestBootServeDrain(t *testing.T) {
 	logger := log.New(io.Discard, "", 0)
 
 	done := make(chan error, 1)
-	go func() { done <- run(ln, logger, 2, 8, 8, 10*time.Second) }()
+	go func() { done <- run(ln, logger, 2, 8, 8, 10*time.Second, fleetJoin{}) }()
 
 	// Wait for the listener to answer.
 	deadline := time.Now().Add(10 * time.Second)

@@ -17,10 +17,26 @@ func (r *rng) seed(s uint64) { r.state = s }
 // next returns the next 64 uniformly distributed bits.
 func (r *rng) next() uint64 {
 	r.state += 0x9e3779b97f4a7c15
-	z := r.state
+	return Mix64(r.state)
+}
+
+// Mix64 is the splitmix64 finalizer as a pure function: it scrambles x into
+// 64 uniformly distributed bits. Besides backing the sequential generator
+// above, it serves as a keyed hash for callers (internal/fleet) that need
+// deterministic per-event draws independent of evaluation order — the draw
+// for a (seed, event-key) pair is a pure function, so concurrent use cannot
+// perturb replay.
+func Mix64(x uint64) uint64 {
+	z := x
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// MixFloat64 maps Mix64(x) to a uniform draw in [0, 1) with 53 bits of
+// precision — the keyed-hash counterpart of rng.float64.
+func MixFloat64(x uint64) float64 {
+	return float64(Mix64(x)>>11) / (1 << 53)
 }
 
 // float64 returns a uniform draw in [0, 1) with 53 bits of precision.

@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"net/url"
+	"time"
+
+	"coscale/internal/server"
+)
+
+// JoinRequest registers a worker with the coordinator.
+type JoinRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// JoinResponse tells the worker the fleet's heartbeat contract: how often
+// to beat, and after how much silence it will be suspected and declared
+// dead.
+type JoinResponse struct {
+	HeartbeatMillis    int64 `json:"heartbeat_ms"`
+	SuspectAfterMillis int64 `json:"suspect_after_ms"`
+	DeadAfterMillis    int64 `json:"dead_after_ms"`
+}
+
+// HeartbeatRequest renews a worker's membership lease, carrying its
+// readiness snapshot so the coordinator stops routing to a draining or
+// saturated worker before lease timeouts would reveal it.
+type HeartbeatRequest struct {
+	Addr  string            `json:"addr,omitempty"`
+	Ready server.ReadyState `json:"ready"`
+}
+
+// Agent runs inside a worker process (coscale-serve's -join flag): it
+// registers with the coordinator and heartbeats the worker's readiness
+// until its context ends. A heartbeat rejected with 404 — the coordinator
+// restarted, or already declared this worker dead — triggers a rejoin, so
+// membership self-heals in both directions.
+type Agent struct {
+	// ID is the stable worker identity (the ring and chaos key).
+	ID string
+	// Addr is the worker's advertised base URL.
+	Addr string
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Client is the HTTP client (nil selects a zero-value Client).
+	Client *Client
+	// Ready supplies the readiness payload (nil reports always-ready).
+	Ready func() server.ReadyState
+	// Interval overrides the coordinator-assigned heartbeat cadence.
+	Interval time.Duration
+	// DropBeat, when non-nil, suppresses sending heartbeat seq when it
+	// returns true — the chaos hook for heartbeat loss (see
+	// ChaosTransport.DropBeat).
+	DropBeat func(seq int) bool
+	// Logger receives agent events (default log.Default).
+	Logger *log.Logger
+}
+
+func (a *Agent) client() *Client {
+	if a.Client != nil {
+		return a.Client
+	}
+	return &Client{}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	l := a.Logger
+	if l == nil {
+		l = log.Default()
+	}
+	l.Printf("fleet agent %s: "+format, append([]any{a.ID}, args...)...)
+}
+
+func (a *Agent) ready() server.ReadyState {
+	if a.Ready != nil {
+		return a.Ready()
+	}
+	return server.ReadyState{Ready: true}
+}
+
+// Run joins the fleet and heartbeats until ctx ends. It returns ctx.Err()
+// on shutdown; transient coordinator failures are retried, not returned.
+func (a *Agent) Run(ctx context.Context) error {
+	interval, err := a.join(ctx)
+	if err != nil {
+		return err
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	seq := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			seq++
+			if a.DropBeat != nil && a.DropBeat(seq) {
+				continue // heartbeat lost in the network
+			}
+			err := a.client().DoJSON(ctx, "POST",
+				a.Coordinator+"/v1/fleet/workers/"+url.PathEscape(a.ID)+"/heartbeat",
+				HeartbeatRequest{Addr: a.Addr, Ready: a.ready()}, nil)
+			if err == nil {
+				continue
+			}
+			var se *StatusError
+			if errors.As(err, &se) && se.Status == http.StatusNotFound {
+				a.logf("membership lost (%v), rejoining", err)
+				if _, jerr := a.join(ctx); jerr != nil {
+					return jerr
+				}
+				continue
+			}
+			a.logf("heartbeat %d: %v", seq, err)
+		}
+	}
+}
+
+// join registers with the coordinator, retrying until it succeeds or ctx
+// ends, and returns the heartbeat interval to use.
+func (a *Agent) join(ctx context.Context) (time.Duration, error) {
+	var resp JoinResponse
+	for {
+		err := a.client().DoJSON(ctx, "POST", a.Coordinator+"/v1/fleet/workers/join",
+			JoinRequest{ID: a.ID, Addr: a.Addr}, &resp)
+		if err == nil {
+			break
+		}
+		a.logf("join: %v (retrying)", err)
+		t := time.NewTimer(500 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return 0, ctx.Err()
+		case <-t.C:
+		}
+	}
+	interval := a.Interval
+	if interval <= 0 && resp.HeartbeatMillis > 0 {
+		interval = time.Duration(resp.HeartbeatMillis) * time.Millisecond
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	a.logf("joined %s (heartbeat every %v)", a.Coordinator, interval)
+	return interval, nil
+}

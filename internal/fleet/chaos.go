@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Endpoint identifies a worker for transport purposes: the stable ID (the
+// chaos event key — addresses change across runs, IDs do not) and the
+// dialable address.
+type Endpoint struct {
+	ID   string
+	Addr string
+}
+
+// Transport executes a leased job on a worker. HTTPTransport is the
+// production implementation; ChaosTransport wraps any Transport with
+// deterministic network-fault injection; tests may supply in-process fakes.
+type Transport interface {
+	Execute(ctx context.Context, worker Endpoint, job JobSpec) (JobResult, error)
+}
+
+// Chaos injection outcomes for one transport operation.
+const (
+	ChaosNone    = "none"
+	ChaosRefuse  = "refuse"  // connection refused before the request is sent
+	ChaosDrop    = "drop"    // request delivered, response discarded
+	ChaosCut     = "cut"     // response cut mid-stream after partial delivery
+	ChaosLatency = "latency" // response delayed by a deterministic spike
+)
+
+// ErrChaos marks injected transport failures, so tests and retry
+// accounting can distinguish planned faults from real ones.
+var ErrChaos = errors.New("fleet: injected chaos")
+
+// ChaosPlan derives every injection decision as a pure splitmix64 function
+// of (Seed, operation, key, attempt) — the network-layer sibling of
+// internal/fault's seeded counter/actuation faults. Because no decision
+// depends on shared mutable state, the plan is bit-replayable: the same
+// seed yields the same fault for the same event no matter how goroutines
+// interleave, which is what lets the chaos end-to-end test assert
+// Float64bits-identical results under worker loss.
+//
+// Probabilities are in [0, 1] and evaluated in the fixed order refuse →
+// drop → cut → latency; the first match wins.
+type ChaosPlan struct {
+	Seed uint64
+
+	RefuseProb  float64 // connection refused (request never reaches the worker)
+	DropProb    float64 // response dropped whole (worker executed; result lost)
+	CutProb     float64 // response cut mid-stream (partial bytes, then error)
+	LatencyProb float64 // response delayed by [LatencyMin, LatencyMax)
+
+	LatencyMin time.Duration
+	LatencyMax time.Duration
+
+	HeartbeatLossProb float64 // per-heartbeat drop probability
+}
+
+// draw returns the uniform fraction for one event.
+func (p ChaosPlan) draw(op, key string, n uint64) float64 {
+	return seededFrac(p.Seed, hashKey(op, key, n))
+}
+
+// Execute decides the fault injected for attempt n of a job on a worker.
+func (p ChaosPlan) Execute(worker, jobHash string, attempt int) string {
+	key := worker + "|" + jobHash
+	f := p.draw("execute", key, uint64(attempt))
+	switch {
+	case f < p.RefuseProb:
+		return ChaosRefuse
+	case f < p.RefuseProb+p.DropProb:
+		return ChaosDrop
+	case f < p.RefuseProb+p.DropProb+p.CutProb:
+		return ChaosCut
+	case f < p.RefuseProb+p.DropProb+p.CutProb+p.LatencyProb:
+		return ChaosLatency
+	}
+	return ChaosNone
+}
+
+// Latency returns the deterministic latency spike for the event.
+func (p ChaosPlan) Latency(worker, jobHash string, attempt int) time.Duration {
+	span := p.LatencyMax - p.LatencyMin
+	if span <= 0 {
+		return p.LatencyMin
+	}
+	f := p.draw("latency", worker+"|"+jobHash, uint64(attempt))
+	return p.LatencyMin + time.Duration(f*float64(span))
+}
+
+// DropHeartbeat decides whether heartbeat seq from a worker is lost.
+func (p ChaosPlan) DropHeartbeat(worker string, seq int) bool {
+	return p.draw("heartbeat", worker, uint64(seq)) < p.HeartbeatLossProb
+}
+
+// ChaosEvent is one injected fault, for replay assertions and telemetry.
+type ChaosEvent struct {
+	Op      string // "execute" | "heartbeat"
+	Worker  string
+	Key     string // job hash for execute events
+	Attempt int
+	Fault   string
+}
+
+// ChaosTransport wraps a Transport with a ChaosPlan and records every
+// injected fault. The event log is a set keyed by deterministic event
+// identity — arrival order is scheduler-dependent, so Events returns it
+// canonically sorted.
+type ChaosTransport struct {
+	Inner Transport
+	Plan  ChaosPlan
+	// Sleep, when non-nil, replaces the real latency-spike sleep (tests).
+	Sleep func(ctx context.Context, d time.Duration)
+
+	mu     sync.Mutex
+	events []ChaosEvent
+}
+
+// record appends one injected-fault event.
+func (c *ChaosTransport) record(ev ChaosEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns the injected faults sorted into canonical order.
+func (c *ChaosTransport) Events() []ChaosEvent {
+	c.mu.Lock()
+	out := append([]ChaosEvent(nil), c.events...)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Worker != b.Worker {
+			return a.Worker < b.Worker
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Attempt < b.Attempt
+	})
+	return out
+}
+
+// Execute applies the planned fault for this (worker, job, attempt) event
+// around the inner transport.
+func (c *ChaosTransport) Execute(ctx context.Context, worker Endpoint, job JobSpec) (JobResult, error) {
+	fault := c.Plan.Execute(worker.ID, job.Hash, job.Attempt)
+	if fault != ChaosNone {
+		c.record(ChaosEvent{Op: "execute", Worker: worker.ID, Key: job.Hash, Attempt: job.Attempt, Fault: fault})
+	}
+	switch fault {
+	case ChaosRefuse:
+		return JobResult{}, fmt.Errorf("%w: connection refused (worker %s, attempt %d)", ErrChaos, worker.ID, job.Attempt)
+	case ChaosLatency:
+		c.sleep(ctx, c.Plan.Latency(worker.ID, job.Hash, job.Attempt))
+	}
+	res, err := c.Inner.Execute(ctx, worker, job)
+	if err != nil {
+		return res, err
+	}
+	switch fault {
+	case ChaosDrop:
+		return JobResult{}, fmt.Errorf("%w: response dropped (worker %s, attempt %d)", ErrChaos, worker.ID, job.Attempt)
+	case ChaosCut:
+		return JobResult{}, fmt.Errorf("%w: response cut mid-stream after %d bytes (worker %s, attempt %d)",
+			ErrChaos, len(res.Result)/2, worker.ID, job.Attempt)
+	}
+	return res, nil
+}
+
+// DropBeat returns an Agent heartbeat-loss hook bound to this transport's
+// plan, recording each dropped beat as a chaos event.
+func (c *ChaosTransport) DropBeat(worker string) func(seq int) bool {
+	return func(seq int) bool {
+		if !c.Plan.DropHeartbeat(worker, seq) {
+			return false
+		}
+		c.record(ChaosEvent{Op: "heartbeat", Worker: worker, Attempt: seq, Fault: ChaosDrop})
+		return true
+	}
+}
+
+func (c *ChaosTransport) sleep(ctx context.Context, d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(ctx, d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

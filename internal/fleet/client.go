@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is the fleet's shared retry/timeout HTTP client: JSON in, JSON
+// out, with bounded retries on transport errors and retryable statuses
+// (429, 502, 503, 504). A Retry-After header — the server jitters its own
+// value, see internal/server — is honored in preference to the local
+// exponential backoff, with a deterministic ±20% jitter keyed by (URL,
+// attempt) so many clients told "1s" do not return as one synchronized
+// stampede. The zero value is usable.
+type Client struct {
+	// HTTP is the underlying client (default: http.DefaultClient with
+	// PerTryTimeout applied per attempt via context).
+	HTTP *http.Client
+	// Retries bounds re-attempts after the first try (default 2).
+	Retries int
+	// PerTryTimeout bounds each individual attempt (default 30s; the
+	// caller's context bounds the whole call).
+	PerTryTimeout time.Duration
+	// BackoffBase and BackoffMax shape the exponential backoff used when
+	// the server sent no Retry-After hint (defaults 100ms, 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed keys the deterministic retry jitter (0 is a valid seed).
+	Seed uint64
+	// sleep is the wait primitive, replaceable by tests.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 2
+}
+
+func (c *Client) perTryTimeout() time.Duration {
+	if c.PerTryTimeout > 0 {
+		return c.PerTryTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c *Client) backoffBase() time.Duration {
+	if c.BackoffBase > 0 {
+		return c.BackoffBase
+	}
+	return 100 * time.Millisecond
+}
+
+func (c *Client) backoffMax() time.Duration {
+	if c.BackoffMax > 0 {
+		return c.BackoffMax
+	}
+	return 2 * time.Second
+}
+
+// StatusError is a non-2xx response that exhausted the client's retries
+// (or is not retryable).
+type StatusError struct {
+	Status int
+	Body   string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("http status %d: %s", e.Status, e.Body)
+}
+
+// retryable statuses: backpressure and transient upstream failures.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// DoJSON POSTs (or GETs, for a nil body) JSON to url and decodes the
+// 2xx response into out (skipped when out is nil). Retries burn the
+// caller's context; the first terminal answer wins.
+func (c *Client) DoJSON(ctx context.Context, method, url string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+			return err
+		}
+		retryAfter, err := c.try(ctx, method, url, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var se *StatusError
+		if errors.As(err, &se) && !retryableStatus(se.Status) {
+			return err
+		}
+		if attempt >= c.retries() {
+			return err
+		}
+		if err := c.wait(ctx, url, attempt+1, retryAfter); err != nil {
+			return fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+		}
+	}
+}
+
+// try performs one attempt, returning any Retry-After hint alongside the
+// error.
+func (c *Client) try(ctx context.Context, method, url string, body []byte, out any) (time.Duration, error) {
+	tryCtx, cancel := context.WithTimeout(ctx, c.perTryTimeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(tryCtx, method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return parseRetryAfter(resp.Header.Get("Retry-After")), &StatusError{Status: resp.StatusCode, Body: string(bytes.TrimSpace(msg))}
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return 0, err
+	}
+	return 0, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// wait sleeps out one retry delay: the server's Retry-After hint when
+// present, else exponential backoff — both with deterministic ±20% jitter
+// keyed by (seed, url, attempt) to break retry-storm synchronization.
+func (c *Client) wait(ctx context.Context, url string, attempt int, retryAfter time.Duration) error {
+	var d time.Duration
+	if retryAfter > 0 {
+		d = retryAfter
+	} else {
+		d = c.backoffBase() << uint(attempt-1)
+		if d > c.backoffMax() || d <= 0 {
+			d = c.backoffMax()
+		}
+	}
+	// Spread into [0.8d, 1.2d).
+	f := 0.8 + 0.4*seededFrac(c.Seed, hashKey("client-retry", url, uint64(attempt)))
+	d = time.Duration(float64(d) * f)
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After value (the only
+// form this system emits; HTTP dates are ignored).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

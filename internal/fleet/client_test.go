@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientHonorsRetryAfter verifies the shared client retries 503s and
+// waits out the server's Retry-After hint with the deterministic ±20%
+// jitter, instead of its own exponential schedule.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	var waits []time.Duration
+	c := &Client{
+		Retries: 3,
+		Seed:    1,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			waits = append(waits, d)
+			return nil
+		},
+	}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.DoJSON(context.Background(), "GET", ts.URL, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || calls.Load() != 3 {
+		t.Fatalf("ok=%v calls=%d, want success on 3rd call", out.OK, calls.Load())
+	}
+	if len(waits) != 2 {
+		t.Fatalf("slept %d times, want 2", len(waits))
+	}
+	for i, d := range waits {
+		lo, hi := 1600*time.Millisecond, 2400*time.Millisecond // 2s ± 20%
+		if d < lo || d >= hi {
+			t.Fatalf("wait %d = %v outside jittered Retry-After window [%v, %v)", i, d, lo, hi)
+		}
+	}
+	if waits[0] == waits[1] {
+		t.Fatalf("jitter is attempt-keyed; identical waits %v look unjittered", waits[0])
+	}
+
+	// Determinism: the same seed re-derives the same waits.
+	calls.Store(0)
+	var waits2 []time.Duration
+	c2 := &Client{Retries: 3, Seed: 1, sleep: func(ctx context.Context, d time.Duration) error {
+		waits2 = append(waits2, d)
+		return nil
+	}}
+	if err := c2.DoJSON(context.Background(), "GET", ts.URL, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(waits2) != 2 || waits2[0] != waits[0] || waits2[1] != waits[1] {
+		t.Fatalf("retry jitter not deterministic: %v vs %v", waits, waits2)
+	}
+}
+
+// TestClientNonRetryable verifies a 400 returns immediately as StatusError.
+func TestClientNonRetryable(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c := &Client{Retries: 3, sleep: func(context.Context, time.Duration) error { return nil }}
+	err := c.DoJSON(context.Background(), "GET", ts.URL, nil, nil)
+	if err == nil || calls.Load() != 1 {
+		t.Fatalf("err=%v calls=%d, want immediate StatusError after 1 call", err, calls.Load())
+	}
+}
+
+// TestClientExhaustsRetries verifies the attempt cap: retries+1 calls, then
+// the last error surfaces.
+func TestClientExhaustsRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := &Client{Retries: 2, sleep: func(context.Context, time.Duration) error { return nil }}
+	err := c.DoJSON(context.Background(), "GET", ts.URL, nil, nil)
+	if err == nil || calls.Load() != 3 {
+		t.Fatalf("err=%v calls=%d, want failure after 3 calls", err, calls.Load())
+	}
+}

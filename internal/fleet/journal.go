@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"coscale/internal/server"
+)
+
+// record is one journal line. Type discriminates; the remaining fields are
+// a union, omitted when empty, so every record is a single self-describing
+// JSON object on its own line.
+//
+// Record types:
+//
+//	sweep  — a sweep was admitted (Sweep + Req; its job records follow)
+//	job    — one cell of a sweep (Job, Sweep, Index, Hash, Cell)
+//	lease  — attempt N of a job was dispatched to a worker
+//	fail   — attempt N failed (transport error, timeout, worker death)
+//	done   — a job committed its result (fsynced before acknowledgment)
+//	failed — a job exhausted its attempt cap
+type record struct {
+	Type    string                  `json:"t"`
+	Sweep   string                  `json:"sweep,omitempty"`
+	Job     string                  `json:"job,omitempty"`
+	Index   int                     `json:"index,omitempty"`
+	Hash    string                  `json:"hash,omitempty"`
+	Worker  string                  `json:"worker,omitempty"`
+	Attempt int                     `json:"attempt,omitempty"`
+	Err     string                  `json:"err,omitempty"`
+	Req     *server.SweepRequest    `json:"req,omitempty"`
+	Cell    *server.SimulateRequest `json:"cell,omitempty"`
+	Result  json.RawMessage         `json:"result,omitempty"`
+}
+
+// journal is the append-only JSON-lines file behind the Store. A nil
+// journal (no path configured) is a valid no-op: the store is then purely
+// in-memory and a coordinator restart starts empty.
+type journal struct {
+	f *os.File
+}
+
+// openJournal opens (creating if needed) the journal at path and recovers
+// its committed prefix: every whole, parseable line is returned in order; a
+// torn final line — a crash mid-write — is discarded and truncated away so
+// the next append starts on a record boundary. A malformed line that is
+// *not* the final one is corruption, not a torn write, and is an error.
+func openJournal(path string) (*journal, []record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, keep, err := scanJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fleet: truncate torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &journal{f: f}, recs, nil
+}
+
+// scanJournal parses the journal, returning the recovered records and the
+// byte offset of the end of the last committed record.
+func scanJournal(r io.Reader) (recs []record, keep int64, err error) {
+	br := bufio.NewReader(r)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		whole := rerr == nil // a line without trailing newline is torn by definition
+		if len(bytes.TrimSpace(line)) > 0 {
+			var rec record
+			if jerr := json.Unmarshal(line, &rec); jerr != nil {
+				if whole {
+					// More records may follow this one; only then do we peek.
+					if _, perr := br.Peek(1); perr == nil {
+						return nil, 0, fmt.Errorf("fleet: journal corrupt at offset %d: %w", keep, jerr)
+					}
+				}
+				// Torn tail: a crash interrupted the final append. Drop it.
+				return recs, keep, nil
+			}
+			recs = append(recs, rec)
+		}
+		keep += int64(len(line))
+		if rerr != nil {
+			if rerr == io.EOF {
+				return recs, keep, nil
+			}
+			return nil, 0, rerr
+		}
+	}
+}
+
+// append writes records and, when sync is set, fsyncs before returning —
+// the commit barrier: a "done" record acknowledged to a client survives a
+// coordinator crash. A nil journal accepts and drops everything.
+func (j *journal) append(sync bool, recs ...record) error {
+	if j == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// close releases the file. A nil journal is a no-op.
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}

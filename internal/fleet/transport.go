@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"coscale/internal/server"
+)
+
+// HTTPTransport executes leased jobs over HTTP: one POST to the worker's
+// /v1/lease/execute endpoint per attempt, through the shared retry/timeout
+// Client. The worker runs the cell through its normal admission path (result
+// cache, in-flight dedup), so a retried lease whose earlier response was
+// lost is a cache hit, not a second simulation.
+type HTTPTransport struct {
+	// Client is the fleet HTTP client (nil selects a zero-value Client).
+	Client *Client
+}
+
+func (t *HTTPTransport) client() *Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return &Client{}
+}
+
+// Execute runs one leased cell on the worker. Any outcome other than a
+// "done" job with a result and the routed hash is an error, so the
+// coordinator's retry machinery treats worker-side failures, hash drift and
+// truncated answers uniformly as failed attempts.
+func (t *HTTPTransport) Execute(ctx context.Context, worker Endpoint, job JobSpec) (JobResult, error) {
+	req := server.LeaseExecuteRequest{JobID: job.ID, Attempt: job.Attempt, Hash: job.Hash, Simulate: job.Simulate}
+	var resp server.LeaseExecuteResponse
+	if err := t.client().DoJSON(ctx, "POST", worker.Addr+"/v1/lease/execute", req, &resp); err != nil {
+		return JobResult{}, fmt.Errorf("worker %s: %w", worker.ID, err)
+	}
+	if resp.State != "done" {
+		return JobResult{}, fmt.Errorf("worker %s reported job %s %s: %s", worker.ID, job.ID, resp.State, resp.Error)
+	}
+	if resp.Hash != job.Hash {
+		return JobResult{}, fmt.Errorf("worker %s answered hash %.12s for job %s routed by %.12s",
+			worker.ID, resp.Hash, job.ID, job.Hash)
+	}
+	if len(resp.Result) == 0 {
+		return JobResult{}, fmt.Errorf("worker %s reported job %s done with no result", worker.ID, job.ID)
+	}
+	return JobResult{ID: job.ID, Hash: resp.Hash, WorkerID: resp.WorkerID, CacheHit: resp.CacheHit, Result: resp.Result}, nil
+}

@@ -21,15 +21,18 @@ import (
 //     collect and sort the keys first.
 var Determinism = &Analyzer{
 	Name:  "determinism",
-	Doc:   "forbid time.Now, global math/rand, and map iteration in sim/trace/policy/core/fault",
+	Doc:   "forbid time.Now, global math/rand, and map iteration in sim/trace/policy/core/fault/fleet",
 	Match: determinismScope,
 	Run:   runDeterminism,
 }
 
 // determinismPackages are the bit-reproducible packages, relative to
 // <module>/internal/. fault is included because injected faults must replay
-// bit-identically from their seed (same seed + scenario -> same Result).
-var determinismPackages = []string{"sim", "trace", "policy", "core", "fault"}
+// bit-identically from their seed (same seed + scenario -> same Result);
+// fleet because chaos injection, retry backoff, and routing must replay the
+// same way (the coordinator's one wall-clock read is an explicit, reasoned
+// ignore).
+var determinismPackages = []string{"sim", "trace", "policy", "core", "fault", "fleet"}
 
 // determinismScope matches the reproducibility-critical packages and their
 // subpackages.

@@ -28,6 +28,8 @@ type metrics struct {
 	rejected atomic.Int64 // 429s from a full queue
 	deduped  atomic.Int64 // requests attached to an in-flight identical job
 
+	streamsDropped atomic.Int64 // NDJSON streams cut by the write deadline
+
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
@@ -115,6 +117,7 @@ func (m *metrics) write(w io.Writer, uptime time.Duration, tablesBuilds, tablesH
 	fmt.Fprintf(w, "coscale_jobs_cancelled_total %d\n", m.cancelled.Load())
 	fmt.Fprintf(w, "coscale_jobs_rejected_total %d\n", m.rejected.Load())
 	fmt.Fprintf(w, "coscale_jobs_deduped_total %d\n", m.deduped.Load())
+	fmt.Fprintf(w, "coscale_streams_dropped_total %d\n", m.streamsDropped.Load())
 	fmt.Fprintf(w, "coscale_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "coscale_cache_misses_total %d\n", misses)
 	fmt.Fprintf(w, "coscale_cache_hit_rate %g\n", hitRate)

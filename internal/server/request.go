@@ -248,6 +248,19 @@ func (q SweepRequest) Hash() (string, error) {
 	return hashTagged("sweep", n)
 }
 
+// Cells expands a normalized sweep into its per-cell simulate requests in
+// row (workloads-major) order — the unit the fleet coordinator shards
+// across workers, each hashed with the canonical simulate hash.
+func (q SweepRequest) Cells() []SimulateRequest {
+	out := make([]SimulateRequest, 0, len(q.Workloads)*len(q.Policies))
+	for _, w := range q.Workloads {
+		for _, p := range q.Policies {
+			out = append(out, q.cell(w, p))
+		}
+	}
+	return out
+}
+
 // cell returns the per-cell simulate view of one sweep entry.
 func (q SweepRequest) cell(w, p string) SimulateRequest {
 	return SimulateRequest{

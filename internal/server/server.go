@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	"coscale/internal/cache"
 	"coscale/internal/experiments"
+	"coscale/internal/fault"
 	"coscale/internal/sim"
 )
 
@@ -30,11 +32,25 @@ type Config struct {
 	// CacheSize bounds the LRU result cache, in completed requests
 	// (default 256).
 	CacheSize int
-	// RetryAfterSeconds is the backoff hint sent with 429s (default 1).
+	// RetryAfterSeconds is the base backoff hint sent with 429s (default 1).
 	RetryAfterSeconds int
+	// RetryAfterJitterSeconds spreads each 429's Retry-After into
+	// [base, base+jitter] seconds, deterministically sequenced, so a burst
+	// of rejected clients does not return as one synchronized retry storm
+	// (default 2; negative disables the jitter).
+	RetryAfterJitterSeconds int
 	// MaxJobs bounds retained terminal jobs for GET /v1/jobs/{id}
 	// (default 1024); the oldest are forgotten first.
 	MaxJobs int
+	// StreamWriteTimeout bounds each write on an NDJSON stream response: a
+	// client that stalls its receive window longer than this is dropped —
+	// the job keeps running — instead of pinning the handler goroutine
+	// forever (default 30s; negative disables the deadline). Drops surface
+	// as coscale_streams_dropped_total in /metrics.
+	StreamWriteTimeout time.Duration
+	// WorkerID names this process in fleet lease responses (see
+	// internal/fleet); empty outside a fleet.
+	WorkerID string
 	// Logger, when non-nil, receives one line per job transition.
 	Logger *log.Logger
 }
@@ -52,8 +68,20 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfterSeconds <= 0 {
 		c.RetryAfterSeconds = 1
 	}
+	switch {
+	case c.RetryAfterJitterSeconds == 0:
+		c.RetryAfterJitterSeconds = 2
+	case c.RetryAfterJitterSeconds < 0:
+		c.RetryAfterJitterSeconds = 0
+	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	switch {
+	case c.StreamWriteTimeout == 0:
+		c.StreamWriteTimeout = 30 * time.Second
+	case c.StreamWriteTimeout < 0:
+		c.StreamWriteTimeout = 0
 	}
 	return c
 }
@@ -81,6 +109,7 @@ type Server struct {
 	cancel   context.CancelFunc
 	started  time.Time
 	nextID   atomic.Int64
+	retrySeq atomic.Int64 // sequences the deterministic Retry-After jitter
 }
 
 // New builds a Server and starts its worker pool.
@@ -136,9 +165,11 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.wrap(s.handleHealth))
+	mux.HandleFunc("GET /readyz", s.wrap(s.handleReady))
 	mux.HandleFunc("GET /metrics", s.wrap(s.handleMetrics))
 	mux.HandleFunc("POST /v1/simulate", s.wrap(s.handleSimulate))
 	mux.HandleFunc("POST /v1/sweep", s.wrap(s.handleSweep))
+	mux.HandleFunc("POST /v1/lease/execute", s.wrap(s.handleLeaseExecute))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.wrap(s.handleJob))
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.wrap(s.handleStream))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.wrap(s.handleCancel))
@@ -192,13 +223,55 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// handleHealth is liveness only: the process is up and serving HTTP. It
+// stays 200 through a drain — a draining worker is alive, just not ready —
+// so supervisors do not kill a process that is finishing its queue.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) error {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"draining": s.draining.Load(),
-	})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 	return nil
 }
+
+// ReadyState is the readiness snapshot behind GET /readyz, and the payload
+// a fleet worker heartbeats to its coordinator: queue depth and drain state
+// let the coordinator stop routing to a worker that is shutting down or
+// saturated, instead of discovering it through lease timeouts.
+type ReadyState struct {
+	Ready         bool `json:"ready"`
+	Draining      bool `json:"draining"`
+	QueueDepth    int  `json:"queue_depth"`
+	QueueCapacity int  `json:"queue_capacity"`
+	Running       int  `json:"running"`
+	Workers       int  `json:"workers"`
+}
+
+// Ready reports the serving subsystem's readiness.
+func (s *Server) Ready() ReadyState {
+	draining := s.draining.Load()
+	return ReadyState{
+		Ready:         !draining,
+		Draining:      draining,
+		QueueDepth:    int(s.metrics.queued.Load()),
+		QueueCapacity: s.cfg.QueueDepth,
+		Running:       int(s.metrics.running.Load()),
+		Workers:       s.cfg.Workers,
+	}
+}
+
+// handleReady is readiness: 200 while accepting work, 503 while draining.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) error {
+	st := s.Ready()
+	status := http.StatusOK
+	if !st.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, st)
+	return nil
+}
+
+// ExecutedJobs reports how many jobs this server actually simulated to
+// completion (cache hits and deduped attaches excluded) — the counter the
+// fleet tests use to prove a committed result is never recomputed.
+func (s *Server) ExecutedJobs() int64 { return s.metrics.done.Load() }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -253,14 +326,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 	return s.submit(w, r, &Job{Kind: "sweep", Hash: hash, sweepReq: &n})
 }
 
-// submit is the admission path shared by simulate and sweep: result cache,
-// in-flight dedup, then bounded-queue admission with 429 backpressure.
-// proto carries the kind, hash and normalized request of the prospective
-// job; submit either resolves it against existing state or registers and
-// enqueues a real job built from it.
+// submit is the admission path shared by simulate and sweep: admit the
+// prospective job, then render its state over HTTP.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request, proto *Job) error {
+	job, aerr := s.admit(proto)
+	if aerr != nil {
+		return aerr
+	}
+	return s.respondJob(w, r, job)
+}
+
+// admit resolves a prospective job against existing state — result cache,
+// in-flight dedup — or registers and enqueues a real job built from it,
+// with 429 backpressure when the bounded queue is full. proto carries the
+// kind, hash and normalized request. It is shared by the HTTP submission
+// handlers and the fleet lease-execution endpoint.
+func (s *Server) admit(proto *Job) (*Job, *apiError) {
 	if s.draining.Load() {
-		return errorf(http.StatusServiceUnavailable, "server is draining")
+		return nil, &apiError{
+			status:     http.StatusServiceUnavailable,
+			msg:        "server is draining",
+			retryAfter: s.retryAfterSeconds(),
+		}
 	}
 	now := time.Now()
 	if res, ok := s.lru.Get(proto.Hash); ok && res.kind == proto.Kind {
@@ -269,7 +356,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, proto *Job) erro
 		job.completeFromCache(res, now)
 		s.register(job, true)
 		s.logf("job %s: %s served from cache", job.ID, job.Kind)
-		return s.respondJob(w, r, job)
+		return job, nil
 	}
 	s.metrics.cacheMisses.Add(1)
 
@@ -278,11 +365,15 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, proto *Job) erro
 		s.mu.Unlock()
 		s.metrics.deduped.Add(1)
 		s.logf("job %s: identical request attached (dedup)", j.ID)
-		return s.respondJob(w, r, j)
+		return j, nil
 	}
 	if s.queueClosed {
 		s.mu.Unlock()
-		return errorf(http.StatusServiceUnavailable, "server is draining")
+		return nil, &apiError{
+			status:     http.StatusServiceUnavailable,
+			msg:        "server is draining",
+			retryAfter: s.retryAfterSeconds(),
+		}
 	}
 	job := newJob(s.newID(proto.Hash), proto.Kind, proto.Hash, now)
 	job.simReq, job.sweepReq = proto.simReq, proto.sweepReq
@@ -291,10 +382,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, proto *Job) erro
 	default:
 		s.mu.Unlock()
 		s.metrics.rejected.Add(1)
-		return &apiError{
+		return nil, &apiError{
 			status:     http.StatusTooManyRequests,
 			msg:        fmt.Sprintf("job queue full (%d deep); retry shortly", s.cfg.QueueDepth),
-			retryAfter: s.cfg.RetryAfterSeconds,
+			retryAfter: s.retryAfterSeconds(),
 		}
 	}
 	s.jobs[job.ID] = job
@@ -302,7 +393,20 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, proto *Job) erro
 	s.mu.Unlock()
 	s.metrics.queued.Add(1)
 	s.logf("job %s: %s queued (hash %.8s)", job.ID, job.Kind, job.Hash)
-	return s.respondJob(w, r, job)
+	return job, nil
+}
+
+// retryAfterSeconds returns the next backpressure hint: the configured base
+// plus a deterministic jitter in [0, jitter] seconds, sequenced by a
+// splitmix64-scrambled counter. Rejected clients therefore spread their
+// retries across the window instead of synchronizing on one boundary — and
+// the shared fleet client honors the header (internal/fleet.Client).
+func (s *Server) retryAfterSeconds() int {
+	if s.cfg.RetryAfterJitterSeconds <= 0 {
+		return s.cfg.RetryAfterSeconds
+	}
+	n := uint64(s.retrySeq.Add(1))
+	return s.cfg.RetryAfterSeconds + int(fault.Mix64(n)%uint64(s.cfg.RetryAfterJitterSeconds+1))
 }
 
 func (s *Server) newID(hash string) string {
@@ -460,7 +564,11 @@ func epochLine(rec sim.EpochRecord) streamLine {
 // handleStream replays the job's buffered epoch records and then follows
 // live appends until the job is terminal, flushing each batch. A client
 // disconnect simply ends the stream; the job keeps running (cancel it with
-// DELETE /v1/jobs/{id}).
+// DELETE /v1/jobs/{id}). Each write batch renews a write deadline
+// (Config.StreamWriteTimeout): a client that stalls its receive window —
+// connected but not reading — is dropped once the kernel buffers fill and
+// the deadline trips, so it cannot pin this handler goroutine forever.
+// Such drops are counted as coscale_streams_dropped_total.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
 	j, ok := s.jobByID(r.PathValue("id"))
 	if !ok {
@@ -469,12 +577,28 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	renewDeadline := func() {
+		if s.cfg.StreamWriteTimeout > 0 {
+			// Best effort: a transport without deadlines just keeps the old
+			// blocking behaviour.
+			_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+		}
+	}
+	streamErr := func(err error) error {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			s.metrics.streamsDropped.Add(1)
+			s.logf("job %s: stream dropped (client stalled past %s)", j.ID, s.cfg.StreamWriteTimeout)
+		}
+		return nil // in either case the stream is over; the job keeps running
+	}
 	enc := json.NewEncoder(w)
 	sent := 0
 	for {
+		renewDeadline()
 		for _, rec := range j.recordsFrom(sent) {
 			if err := enc.Encode(epochLine(rec)); err != nil {
-				return nil // client went away mid-stream
+				return streamErr(err)
 			}
 			sent++
 		}
@@ -493,7 +617,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
 					final.Error = v.Err.Error()
 				}
 			}
-			_ = enc.Encode(final)
+			if err := enc.Encode(final); err != nil {
+				return streamErr(err)
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}

@@ -100,7 +100,9 @@ func metricValue(t *testing.T, body, name string) float64 {
 // Retry-After, mid-stream cancellation that frees the worker slot, a cache
 // hit on a repeated request reflected in /metrics, and graceful drain.
 func TestServeSmoke(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1, CacheSize: 16})
+	// Jitter is disabled so the Retry-After assertion below is exact; the
+	// jittered spread has its own test in lease_test.go.
+	s := New(Config{Workers: 1, QueueDepth: 1, CacheSize: 16, RetryAfterJitterSeconds: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -277,9 +279,15 @@ func TestServeSmoke(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain submit: status %d: %s", resp.StatusCode, body)
 	}
+	// Liveness stays green while draining; readiness flips to 503 and
+	// reports the drain so a coordinator stops routing here.
 	status, hbody := getJSON(t, client, ts.URL+"/healthz")
-	if status != http.StatusOK || !strings.Contains(string(hbody), `"draining":true`) {
+	if status != http.StatusOK {
 		t.Fatalf("post-drain healthz: status %d body %s", status, hbody)
+	}
+	status, rbody := getJSON(t, client, ts.URL+"/readyz")
+	if status != http.StatusServiceUnavailable || !strings.Contains(string(rbody), `"draining":true`) {
+		t.Fatalf("post-drain readyz: status %d body %s", status, rbody)
 	}
 }
 
