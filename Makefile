@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint escapes escapes-baseline test test-race bench bench-smoke bench-json bench-compare bit-identity profile fmt fuzz-smoke fault-smoke serve-smoke fleet-smoke
+.PHONY: check build vet fmt-check lint escapes escapes-baseline test test-race bench bench-smoke bench-json bench-compare bit-identity profile fmt fuzz-smoke fault-smoke serve-smoke fleet-smoke fastcap-smoke
 
 ## check: the full gate — tier-1 verify + vet + gofmt + coscale-lint +
 ## escape-analysis gate + the parallel-search bit-identity property tests
@@ -93,6 +93,17 @@ serve-smoke:
 ## chaos unit tests (mirrors CI's fleet-smoke job; see DESIGN.md §12)
 fleet-smoke:
 	$(GO) test -race -count=1 ./internal/fleet ./cmd/coscale-fleet
+
+## fastcap-smoke: the fleet-scale power-capping suite under the race
+## detector — the fastcap allocator/frontier/rebalancer property tests
+## (Float64bits-identical allocations across replays and node orderings,
+## budget conservation, allocation-free steady state) plus a reduced-grid
+## run of the -exp fastcap cap-event experiment (mirrors CI's fastcap-smoke
+## job; see DESIGN.md §13)
+fastcap-smoke:
+	$(GO) test -race -count=1 ./internal/fastcap
+	$(GO) test -race -count=1 -run 'TestFastCap' ./internal/experiments
+	$(GO) run -race ./cmd/coscale-experiments -exp fastcap -fastcap-nodes 3 -fastcap-epochs 12
 
 vet:
 	$(GO) vet ./...

@@ -7,7 +7,7 @@
 //	coscale-experiments -budget 25000000 # faster, reduced budget
 //
 // Experiment names: table1 table2 fig5 fig6 fig7 fig8 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16 fig17 ablations faults.
+// fig13 fig14 fig15 fig16 fig17 ablations faults fastcap.
 package main
 
 import (
@@ -30,9 +30,11 @@ func main() {
 	log.SetPrefix("coscale-experiments: ")
 
 	var (
-		expList = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
-		budget  = flag.Uint64("budget", 100_000_000, "instructions per application")
-		version = flag.Bool("version", false, "print the version and exit")
+		expList  = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		budget   = flag.Uint64("budget", 100_000_000, "instructions per application")
+		fcNodes  = flag.Int("fastcap-nodes", 0, "fastcap: simulated fleet size (0 = default 6)")
+		fcEpochs = flag.Int("fastcap-epochs", 0, "fastcap: rebalancing epochs (0 = default 36)")
+		version  = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
 
@@ -143,6 +145,13 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatErrorTolerance(rows))
+	}
+	if want("fastcap") {
+		rows, err := r.FastCap(*fcNodes, *fcEpochs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatFastCap(rows))
 	}
 	if want("ablations") {
 		rows, err := r.Ablations()

@@ -50,6 +50,7 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 60*time.Second, "per-attempt lease execution timeout")
 		maxAttempts = flag.Int("max-attempts", 4, "lease attempts per job before terminal failure")
 		inflight    = flag.Int("max-inflight", 4, "concurrent leases per worker")
+		budget      = flag.Float64("budget", 0, "fleet power budget in watts, split across live workers (0 = uncapped)")
 		version     = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 		JobTimeout:           *jobTimeout,
 		MaxAttempts:          *maxAttempts,
 		MaxInflightPerWorker: *inflight,
+		PowerBudgetWatts:     *budget,
 		JournalPath:          *journal,
 		Logger:               logger,
 	}); err != nil {

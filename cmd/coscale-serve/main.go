@@ -144,6 +144,7 @@ func run(ln net.Listener, logger *log.Logger, workers, queueDepth, cacheSize int
 			Addr:        fj.advertise,
 			Coordinator: fj.coordinator,
 			Ready:       s.Ready,
+			OnBudget:    s.SetPowerCap,
 			Logger:      logger,
 		}
 		go func() {

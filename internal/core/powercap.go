@@ -1,11 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"coscale/internal/policy"
 )
+
+// ErrCapInfeasible reports a power budget below the platform's minimum
+// achievable power: even with every core and the memory bus at their lowest
+// frequency the predicted power exceeds the cap. The decision returned
+// alongside it is the all-minimum-frequency clamp — the closest physically
+// reachable point — so callers can actuate it while surfacing the violation.
+var ErrCapInfeasible = errors.New("core: power cap infeasible")
 
 // PowerCap is the §2.3 extension the paper sketches: "CoScale can be readily
 // extended to cap power with appropriate changes to its decision algorithm".
@@ -16,12 +24,19 @@ import (
 // The decision algorithm reuses the Figure 2 walk: starting from maximum
 // frequencies, it greedily takes the moves with the best marginal utility
 // (Δpower/Δperformance — the cheapest watts in performance terms) until the
-// predicted power fits under the cap. If the cap is unreachable even at
-// minimum frequencies, the lowest-power configuration is used.
+// predicted power fits under the cap. An infeasible cap — below the power of
+// the all-minimum configuration — is detected up front: the controller clamps
+// to all-minimum frequencies and DecideCapped surfaces ErrCapInfeasible
+// instead of walking the whole ladder just to rediscover the floor.
 type PowerCap struct {
 	cfg   policy.Config
 	capW  float64
 	slack *policy.SlackBook
+
+	// minScratch is the reusable all-minimum step vector for the
+	// feasibility pre-check; it is cloned only on the cold infeasible
+	// return, keeping the hot Decide path free of per-call allocation.
+	minScratch []int
 }
 
 // NewPowerCap builds a power-capping controller with the given full-system
@@ -46,6 +61,17 @@ func (p *PowerCap) Name() string { return "CoScale-PowerCap" }
 // Cap returns the configured budget in watts.
 func (p *PowerCap) Cap() float64 { return p.capW }
 
+// SetCap replaces the budget for subsequent decisions. This is the epoch
+// rebalancing hook (internal/fastcap): one PowerCap per node persists across
+// epochs while its assigned slice of the global budget moves.
+func (p *PowerCap) SetCap(capWatts float64) error {
+	if capWatts <= 0 || math.IsNaN(capWatts) {
+		return fmt.Errorf("core: power cap %g W must be positive", capWatts)
+	}
+	p.capW = capWatts
+	return nil
+}
+
 // Observe implements policy.Policy.
 func (p *PowerCap) Observe(epoch policy.Observation) {
 	tMax := policy.TMaxForEpoch(p.cfg, epoch, policy.ZeroSteps(p.cfg.NCores), 0)
@@ -55,9 +81,43 @@ func (p *PowerCap) Observe(epoch policy.Observation) {
 // Decide implements policy.Policy: descend until the cap is met, preferring
 // the moves that buy the most watts per unit of performance; among
 // cap-satisfying configurations choose the fastest (lowest worst slowdown).
+// Infeasibility is swallowed — the all-minimum clamp is still the right
+// actuation — so use DecideCapped when the violation itself matters.
 func (p *PowerCap) Decide(obs policy.Observation) policy.Decision {
-	ev := policy.NewEvaluator(p.cfg, obs)
+	d, _ := p.DecideCapped(obs)
+	return d
+}
+
+// DecideCapped is Decide surfacing infeasibility: when the cap lies below the
+// platform's minimum achievable power for this observation, the returned
+// decision is the all-minimum-frequency configuration and the error wraps
+// ErrCapInfeasible (carrying the cap and the floor). A feasible cap returns
+// a nil error.
+func (p *PowerCap) DecideCapped(obs policy.Observation) (policy.Decision, error) {
+	// The evaluator runs on the memoized-table path (bit-identical to the
+	// direct path, DESIGN.md §10): with Cfg.Tables wired in, sibling nodes
+	// of a capped fleet share one platform-column build per process.
+	ev := &policy.Evaluator{UseTables: true}
+	ev.Reset(p.cfg, obs)
 	n := p.cfg.NCores
+
+	// Feasibility pre-check at the ladder floor. Below it the old walk
+	// thrashed through every intermediate configuration only to fall back;
+	// now the clamp is immediate and typed.
+	if cap(p.minScratch) < n {
+		p.minScratch = make([]int, n) //hot:alloc-ok capacity miss: grow-only scratch, amortized to zero in steady state
+	}
+	minSteps := p.minScratch[:n]
+	for i := range minSteps {
+		minSteps[i] = p.cfg.CoreLadder.Steps() - 1
+	}
+	minMem := p.cfg.MemLadder.Steps() - 1
+	minEval := ev.Evaluate(minSteps, minMem)
+	if minEval.Power.Total > p.capW {
+		return policy.Decision{CoreSteps: append([]int(nil), minSteps...), MemStep: minMem},
+			fmt.Errorf("%w: cap %g W below minimum achievable %g W",
+				ErrCapInfeasible, p.capW, minEval.Power.Total)
+	}
 
 	// Performance limits still apply when Gamma > 0: a cap should shed
 	// watts, not starve one program beyond its SLO if avoidable.
@@ -94,7 +154,7 @@ func (p *PowerCap) Decide(obs policy.Observation) policy.Decision {
 			best = policy.Decision{CoreSteps: append([]int(nil), steps...), MemStep: memStep}
 		}
 	}
-	return best
+	return best, nil
 }
 
 type capMove struct {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"coscale/internal/policy"
@@ -78,6 +79,88 @@ func TestPowerCapUnreachableFallsBackToMinimumPower(t *testing.T) {
 	}
 	if e.Power.Total >= ev.Baseline().Power.Total {
 		t.Error("fallback did not reduce power")
+	}
+}
+
+func TestPowerCapInfeasibleClampsToMinimum(t *testing.T) {
+	// A cap below the all-minimum-frequency power must clamp to the ladder
+	// floor and surface the typed error instead of silently thrashing.
+	cfg := testCfg(8)
+	obs := synthObs(cfg, uniform(8, memory))
+	ev := policy.NewEvaluator(cfg, obs)
+	minSteps := make([]int, 8)
+	for i := range minSteps {
+		minSteps[i] = cfg.CoreLadder.Steps() - 1
+	}
+	minMem := cfg.MemLadder.Steps() - 1
+	floor := ev.Evaluate(minSteps, minMem).Power.Total
+
+	p := must(NewPowerCap(cfg, floor*0.5))
+	d, err := p.DecideCapped(obs)
+	if !errors.Is(err, ErrCapInfeasible) {
+		t.Fatalf("DecideCapped(cap %.1f W < floor %.1f W) err = %v, want ErrCapInfeasible", floor*0.5, floor, err)
+	}
+	if d.MemStep != minMem {
+		t.Errorf("memory not clamped to bottom: step %d", d.MemStep)
+	}
+	for i, s := range d.CoreSteps {
+		if s != cfg.CoreLadder.Steps()-1 {
+			t.Errorf("core %d not clamped to bottom: step %d", i, s)
+		}
+	}
+	// Decide (the policy.Policy form) returns the same clamp, error swallowed.
+	d2 := p.Decide(obs)
+	if d2.MemStep != d.MemStep || len(d2.CoreSteps) != len(d.CoreSteps) {
+		t.Error("Decide disagrees with DecideCapped on the infeasible clamp")
+	}
+}
+
+func TestPowerCapFeasibleAtExactFloor(t *testing.T) {
+	// The boundary: a cap exactly at (or a hair above) the minimum
+	// achievable power is feasible — no error, and the cap is met.
+	cfg := testCfg(8)
+	obs := synthObs(cfg, uniform(8, memory))
+	ev := policy.NewEvaluator(cfg, obs)
+	minSteps := make([]int, 8)
+	for i := range minSteps {
+		minSteps[i] = cfg.CoreLadder.Steps() - 1
+	}
+	floor := ev.Evaluate(minSteps, cfg.MemLadder.Steps()-1).Power.Total
+
+	p := must(NewPowerCap(cfg, floor))
+	d, err := p.DecideCapped(obs)
+	if err != nil {
+		t.Fatalf("cap exactly at the floor reported infeasible: %v", err)
+	}
+	if e := ev.Evaluate(d.CoreSteps, d.MemStep); e.Power.Total > floor*(1+1e-9) {
+		t.Errorf("decision power %.3f W exceeds the floor cap %.3f W", e.Power.Total, floor)
+	}
+}
+
+func TestPowerCapSetCap(t *testing.T) {
+	cfg := testCfg(4)
+	p := must(NewPowerCap(cfg, 300))
+	if err := p.SetCap(0); err == nil {
+		t.Error("SetCap(0) accepted")
+	}
+	if err := p.SetCap(-5); err == nil {
+		t.Error("SetCap(-5) accepted")
+	}
+	if p.Cap() != 300 {
+		t.Errorf("rejected SetCap mutated the cap: %g", p.Cap())
+	}
+	if err := p.SetCap(150); err != nil {
+		t.Fatalf("SetCap(150): %v", err)
+	}
+	if p.Cap() != 150 {
+		t.Errorf("Cap after SetCap = %g, want 150", p.Cap())
+	}
+	// The new cap governs subsequent decisions.
+	obs := synthObs(cfg, uniform(4, compute))
+	ev := policy.NewEvaluator(cfg, obs)
+	d := p.Decide(obs)
+	if e := ev.Evaluate(d.CoreSteps, d.MemStep); e.Power.Total > 150*1.001 {
+		t.Errorf("decision ignores SetCap: %.1f W > 150 W", e.Power.Total)
 	}
 }
 

@@ -1,0 +1,283 @@
+// Fleet power-capping study (DESIGN.md §13): a global power budget split
+// across N simulated 16-core nodes by the internal/fastcap allocator, under
+// a datacenter cap-event trace — steady 100% of provisioned power, a step
+// down to 80%, and a transient 60% dip. Fair max-min water-filling is
+// compared against greedy watts-per-slowdown spending and a uniform static
+// split on total energy, worst-node slowdown, slowdown spread, and Jain's
+// fairness index.
+
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"coscale/internal/cache"
+	"coscale/internal/fastcap"
+	"coscale/internal/fault"
+	"coscale/internal/freq"
+	"coscale/internal/memsys"
+	"coscale/internal/perf"
+	"coscale/internal/policy"
+	"coscale/internal/power"
+	"coscale/internal/workload"
+)
+
+// FastCapSeed fixes the study's phase offsets and drift rates; the whole
+// study is a pure function of (seed, nodes, epochs).
+const FastCapSeed = 0xFA57CA9C05CA1E
+
+// fastCapMixes is the rotation node workloads are drawn from: one mix per
+// paper class so the fleet always holds heterogeneous demand (a MEM-heavy
+// node has far more to gain per watt than an ILP one — the allocation
+// problem the study exists to exercise).
+var fastCapMixes = []string{"MEM1", "MID1", "ILP1", "MIX1", "MEM2", "MID2", "ILP2", "MIX2"}
+
+// FastCapRow is one (strategy, budget segment) cell of the study.
+type FastCapRow struct {
+	Strategy  string  // fair | greedy | uniform
+	Segment   string  // steady (100%) | cut (80%) | dip (60%)
+	Epochs    int     // epochs in this segment
+	EnergyJ   float64 // total fleet energy over the segment
+	WorstSlow float64 // mean over epochs of the worst node's slowdown
+	Spread    float64 // mean over epochs of max−min node slowdown
+	Jain      float64 // mean over epochs of Jain's index over node speeds
+	Clamped   int     // node-epochs clamped to the all-min floor
+}
+
+// fastCapSegment labels epoch e of the budget trace and returns the budget
+// as a fraction of the fleet's provisioned (all-max) power: the first third
+// runs uncapped, then a step down to 80%, with a transient dip to 60% for
+// epochs/6 epochs starting at the final third.
+func fastCapSegment(e, epochs int) (string, float64) {
+	third := epochs / 3
+	dipStart := 2 * third
+	dipLen := epochs / 6
+	switch {
+	case e < third:
+		return "steady", 1.0
+	case e >= dipStart && e < dipStart+dipLen:
+		return "dip", 0.6
+	default:
+		return "cut", 0.8
+	}
+}
+
+// fastCapNodeCfg is the per-node platform: the paper's 16-core defaults,
+// sharing the runner's table cache so the whole fleet reuses one
+// platform-column build per process.
+func (r *Runner) fastCapNodeCfg(nCores int) policy.Config {
+	return policy.Config{
+		NCores:     nCores,
+		CoreLadder: freq.DefaultCoreLadder(),
+		MemLadder:  freq.DefaultMemLadder(),
+		Mem:        memsys.DefaultParams(),
+		Power:      power.DefaultSystem(nCores),
+		Gamma:      0.10,
+		EpochLen:   5 * time.Millisecond,
+		Tables:     r.Tables(),
+	}
+}
+
+// fastCapObs synthesizes one node's epoch observation: every core samples
+// its application profile at the node's current phase fraction, the shared
+// LLC splits capacity by access weight, and the queueing solver at maximum
+// frequencies provides the counter values a real profiling epoch would
+// deliver.
+func fastCapObs(cfg policy.Config, mix workload.Mix, llc *cache.ShareModel, sv *perf.Solver, frac float64) (policy.Observation, error) {
+	n := cfg.NCores
+	weights := make([]float64, n)
+	stats := make([]perf.CoreStats, n)
+	for i := 0; i < n; i++ {
+		p, err := mix.AppForCore(i)
+		if err != nil {
+			return policy.Observation{}, err
+		}
+		weights[i] = p.At(frac).L2APKI
+	}
+	shares := llc.Shares(weights)
+	for i := 0; i < n; i++ {
+		p, err := mix.AppForCore(i)
+		if err != nil {
+			return policy.Observation{}, err
+		}
+		s := p.At(frac)
+		mpki := p.MPKIAt(frac, shares[i])
+		wb := mpki * s.DirtyFrac
+		stats[i] = perf.CoreStats{
+			CPIBase:     s.CPIBase,
+			Alpha:       s.L2APKI / 1000,
+			StallL2:     cache.DefaultHitTime,
+			Beta:        mpki / 1000,
+			MemPerInstr: (mpki + wb) / 1000,
+			MLP:         s.MLP,
+		}
+	}
+	hz := make([]float64, n)
+	for i := range hz {
+		hz[i] = cfg.CoreLadder.MaxHz()
+	}
+	res := sv.Solve(stats, hz, cfg.MemLadder.MaxHz())
+	obs := policy.Observation{
+		Window:     cfg.EpochLen.Seconds(),
+		CoreSteps:  policy.ZeroSteps(n),
+		Cores:      make([]policy.CoreObs, n),
+		MemRate:    res.MemRate,
+		MemLatency: res.Mem.Latency,
+		UtilBus:    res.Mem.UtilBus,
+		BusyFrac:   math.Min(1, res.Mem.UtilBank*8),
+	}
+	for i := 0; i < n; i++ {
+		p, err := mix.AppForCore(i)
+		if err != nil {
+			return policy.Observation{}, err
+		}
+		obs.Cores[i] = policy.CoreObs{
+			Instructions: uint64(obs.Window / res.TPI[i]),
+			Stats:        stats[i],
+			L2PerInstr:   stats[i].Alpha,
+			Mix:          p.At(frac).Mix,
+			IPS:          1 / res.TPI[i],
+		}
+	}
+	return obs, nil
+}
+
+// unit maps a 64-bit hash to [0,1).
+func fastCapUnit(x uint64) float64 {
+	return float64(x>>11) / float64(1<<53)
+}
+
+// FastCap runs the fleet capping study over the given fleet size and epoch
+// count (0 selects the committed defaults: 6 nodes, 36 epochs). The three
+// strategies replay identical observations and budget traces, so every
+// difference between rows is the allocator's doing. Deterministic: same
+// (nodes, epochs) ⇒ bit-identical rows.
+func (r *Runner) FastCap(nodes, epochs int) ([]FastCapRow, error) {
+	if nodes == 0 {
+		nodes = 6
+	}
+	if epochs == 0 {
+		epochs = 36
+	}
+	if nodes < 1 || epochs < 6 {
+		return nil, fmt.Errorf("experiments: fastcap needs ≥1 node and ≥6 epochs, got %d/%d", nodes, epochs)
+	}
+
+	// Per-node workload mixes and phase trajectories.
+	nodeMixes := make([]workload.Mix, nodes)
+	start := make([]float64, nodes)
+	rate := make([]float64, nodes)
+	var cfg policy.Config
+	for n := 0; n < nodes; n++ {
+		m, err := workload.Get(fastCapMixes[n%len(fastCapMixes)])
+		if err != nil {
+			return nil, err
+		}
+		nodeMixes[n] = m
+		if n == 0 {
+			cfg = r.fastCapNodeCfg(m.Cores())
+		} else if m.Cores() != cfg.NCores {
+			return nil, fmt.Errorf("experiments: mix %s has %d cores, fleet needs %d", m.Name, m.Cores(), cfg.NCores)
+		}
+		start[n] = fastCapUnit(fault.Mix64(FastCapSeed ^ uint64(n)<<1))
+		rate[n] = 0.02 + 0.04*fastCapUnit(fault.Mix64(FastCapSeed^uint64(n)<<1^1))
+	}
+
+	// Observations are precomputed once and shared read-only by the three
+	// strategy runs, so their inputs are identical by construction.
+	llc := cache.NewShareModel(cache.DefaultSizeMB)
+	sv := perf.NewSolver(cfg.Mem)
+	obs := make([][]policy.Observation, epochs)
+	for e := 0; e < epochs; e++ {
+		obs[e] = make([]policy.Observation, nodes)
+		for n := 0; n < nodes; n++ {
+			frac := math.Mod(start[n]+rate[n]*float64(e), 1)
+			o, err := fastCapObs(cfg, nodeMixes[n], llc, sv, frac)
+			if err != nil {
+				return nil, err
+			}
+			obs[e][n] = o
+		}
+	}
+
+	// Provisioned power: the fleet running all-max at epoch 0.
+	provisioned := 0.0
+	for n := 0; n < nodes; n++ {
+		provisioned += policy.NewEvaluator(cfg, obs[0][n]).Baseline().Power.Total
+	}
+
+	strategies := []fastcap.Strategy{fastcap.Fair, fastcap.Greedy, fastcap.Uniform}
+	segments := []string{"steady", "cut", "dip"}
+	rows := make([]FastCapRow, len(strategies)*len(segments))
+	epochSec := cfg.EpochLen.Seconds()
+
+	err := r.forEach(len(strategies), func(si int) error {
+		reb := fastcap.NewRebalancer(strategies[si])
+		for n := 0; n < nodes; n++ {
+			if err := reb.AddNode(fmt.Sprintf("node-%02d", n), cfg); err != nil {
+				return err
+			}
+		}
+		acc := make(map[string]*FastCapRow, len(segments))
+		for k, seg := range segments {
+			rows[si*len(segments)+k] = FastCapRow{Strategy: strategies[si].String(), Segment: seg}
+			acc[seg] = &rows[si*len(segments)+k]
+		}
+		var eps []fastcap.NodeEpoch
+		speeds := make([]float64, nodes)
+		for e := 0; e < epochs; e++ {
+			seg, fracBudget := fastCapSegment(e, epochs)
+			var err error
+			eps, err = reb.Epoch(provisioned*fracBudget, obs[e], eps[:0])
+			if err != nil {
+				return err
+			}
+			worst, best, energy := math.Inf(-1), math.Inf(1), 0.0
+			clamped := 0
+			for i, ne := range eps {
+				if ne.MaxSlow > worst {
+					worst = ne.MaxSlow
+				}
+				if ne.MaxSlow < best {
+					best = ne.MaxSlow
+				}
+				energy += ne.Power * epochSec
+				speeds[i] = 1 / ne.MaxSlow
+				if ne.Clamped {
+					clamped++
+				}
+			}
+			row := acc[seg]
+			row.Epochs++
+			row.EnergyJ += energy
+			row.WorstSlow += worst
+			row.Spread += worst - best
+			row.Jain += fastcap.JainIndex(speeds)
+			row.Clamped += clamped
+		}
+		for _, seg := range segments {
+			if acc[seg].Epochs > 0 {
+				acc[seg].WorstSlow /= float64(acc[seg].Epochs)
+				acc[seg].Spread /= float64(acc[seg].Epochs)
+				acc[seg].Jain /= float64(acc[seg].Epochs)
+			}
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// FormatFastCap renders the fleet capping study as a strategy × segment
+// table.
+func FormatFastCap(rows []FastCapRow) string {
+	s := "Fleet power capping: fair water-filling vs greedy vs uniform split\n"
+	s += fmt.Sprintf("%-8s %-7s %7s %10s %11s %8s %7s %8s\n",
+		"strategy", "segment", "epochs", "energy-J", "worst-slow", "spread", "jain", "clamped")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8s %-7s %7d %10.4f %11.4f %8.4f %7.4f %8d\n",
+			r.Strategy, r.Segment, r.Epochs, r.EnergyJ, r.WorstSlow, r.Spread, r.Jain, r.Clamped)
+	}
+	return s
+}

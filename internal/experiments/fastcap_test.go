@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func fastCapRow(t *testing.T, rows []FastCapRow, strategy, segment string) FastCapRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Strategy == strategy && r.Segment == segment {
+			return r
+		}
+	}
+	t.Fatalf("no row for %s/%s", strategy, segment)
+	return FastCapRow{}
+}
+
+// TestFastCapFairBeatsGreedyUnderCut pins the study's headline result on
+// the committed default grid: under the 20% budget cut, fair max-min
+// water-filling beats greedy on worst-node slowdown at equal-or-better
+// energy, and is no less fair by Jain's index.
+func TestFastCapFairBeatsGreedyUnderCut(t *testing.T) {
+	rows, err := NewRunner(0).FastCap(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := fastCapRow(t, rows, "fair", "cut")
+	greedy := fastCapRow(t, rows, "greedy", "cut")
+	if !(fair.WorstSlow < greedy.WorstSlow) {
+		t.Errorf("fair worst-node slowdown %.4f not better than greedy %.4f under the cut",
+			fair.WorstSlow, greedy.WorstSlow)
+	}
+	if fair.EnergyJ > greedy.EnergyJ {
+		t.Errorf("fair energy %.4f J exceeds greedy %.4f J under the cut", fair.EnergyJ, greedy.EnergyJ)
+	}
+	if fair.Jain < greedy.Jain {
+		t.Errorf("fair Jain %.4f below greedy %.4f under the cut", fair.Jain, greedy.Jain)
+	}
+	// The dip stresses harder; fairness must not invert there either.
+	fairDip := fastCapRow(t, rows, "fair", "dip")
+	greedyDip := fastCapRow(t, rows, "greedy", "dip")
+	if fairDip.Spread > greedyDip.Spread {
+		t.Errorf("fair spread %.4f exceeds greedy %.4f in the dip", fairDip.Spread, greedyDip.Spread)
+	}
+}
+
+func TestFastCapSegmentsPartitionEpochs(t *testing.T) {
+	rows, err := NewRunner(0).FastCap(3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 9 (3 strategies × 3 segments)", len(rows))
+	}
+	for _, strat := range []string{"fair", "greedy", "uniform"} {
+		total := 0
+		for _, seg := range []string{"steady", "cut", "dip"} {
+			r := fastCapRow(t, rows, strat, seg)
+			total += r.Epochs
+			if r.Epochs == 0 {
+				t.Errorf("%s/%s has no epochs", strat, seg)
+			}
+			if !(r.WorstSlow >= 1) {
+				t.Errorf("%s/%s worst slowdown %.4f below 1", strat, seg, r.WorstSlow)
+			}
+			if r.Jain <= 0 || r.Jain > 1+1e-9 {
+				t.Errorf("%s/%s Jain %.4f outside (0,1]", strat, seg, r.Jain)
+			}
+		}
+		if total != 12 {
+			t.Errorf("%s: segments cover %d epochs, want 12", strat, total)
+		}
+	}
+}
+
+// TestFastCapReplayBitIdentical replays the reduced grid and requires
+// bit-identical rows: the study is a pure function of (seed, nodes, epochs)
+// even though the three strategies run concurrently.
+func TestFastCapReplayBitIdentical(t *testing.T) {
+	a, err := NewRunner(0).FastCap(3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(0).FastCap(3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Strategy != b[i].Strategy || a[i].Segment != b[i].Segment ||
+			a[i].Epochs != b[i].Epochs || a[i].Clamped != b[i].Clamped ||
+			math.Float64bits(a[i].EnergyJ) != math.Float64bits(b[i].EnergyJ) ||
+			math.Float64bits(a[i].WorstSlow) != math.Float64bits(b[i].WorstSlow) ||
+			math.Float64bits(a[i].Spread) != math.Float64bits(b[i].Spread) ||
+			math.Float64bits(a[i].Jain) != math.Float64bits(b[i].Jain) {
+			t.Fatalf("row %d diverged across replays:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFastCapValidatesGrid(t *testing.T) {
+	if _, err := NewRunner(0).FastCap(-1, 12); err == nil {
+		t.Error("negative fleet accepted")
+	}
+	if _, err := NewRunner(0).FastCap(3, 3); err == nil {
+		t.Error("too few epochs accepted")
+	}
+}
+
+func TestFormatFastCap(t *testing.T) {
+	rows, err := NewRunner(0).FastCap(3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatFastCap(rows)
+	for _, want := range []string{"strategy", "fair", "greedy", "uniform", "cut", "dip", "jain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

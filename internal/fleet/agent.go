@@ -24,6 +24,11 @@ type JoinResponse struct {
 	HeartbeatMillis    int64 `json:"heartbeat_ms"`
 	SuspectAfterMillis int64 `json:"suspect_after_ms"`
 	DeadAfterMillis    int64 `json:"dead_after_ms"`
+	// BudgetWatts is this worker's assigned slice of the fleet power
+	// budget; FleetBudgetWatts is the global budget it came from (both 0
+	// when the fleet is uncapped).
+	BudgetWatts      float64 `json:"budget_watts,omitempty"`
+	FleetBudgetWatts float64 `json:"fleet_budget_watts,omitempty"`
 }
 
 // HeartbeatRequest renews a worker's membership lease, carrying its
@@ -32,6 +37,15 @@ type JoinResponse struct {
 type HeartbeatRequest struct {
 	Addr  string            `json:"addr,omitempty"`
 	Ready server.ReadyState `json:"ready"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat and republishes the worker's
+// current slice of the fleet power budget, so budget changes propagate to
+// every worker within one heartbeat interval.
+type HeartbeatResponse struct {
+	Status           string  `json:"status"`
+	BudgetWatts      float64 `json:"budget_watts,omitempty"`
+	FleetBudgetWatts float64 `json:"fleet_budget_watts,omitempty"`
 }
 
 // Agent runs inside a worker process (coscale-serve's -join flag): it
@@ -56,6 +70,11 @@ type Agent struct {
 	// returns true — the chaos hook for heartbeat loss (see
 	// ChaosTransport.DropBeat).
 	DropBeat func(seq int) bool
+	// OnBudget, when non-nil, receives the worker's assigned power budget
+	// slice and the fleet-wide budget after the join and after every
+	// acknowledged heartbeat (coscale-serve points this at
+	// Server.SetPowerCap).
+	OnBudget func(assigned, fleetBudget float64)
 	// Logger receives agent events (default log.Default).
 	Logger *log.Logger
 }
@@ -101,10 +120,14 @@ func (a *Agent) Run(ctx context.Context) error {
 			if a.DropBeat != nil && a.DropBeat(seq) {
 				continue // heartbeat lost in the network
 			}
+			var hb HeartbeatResponse
 			err := a.client().DoJSON(ctx, "POST",
 				a.Coordinator+"/v1/fleet/workers/"+url.PathEscape(a.ID)+"/heartbeat",
-				HeartbeatRequest{Addr: a.Addr, Ready: a.ready()}, nil)
+				HeartbeatRequest{Addr: a.Addr, Ready: a.ready()}, &hb)
 			if err == nil {
+				if a.OnBudget != nil {
+					a.OnBudget(hb.BudgetWatts, hb.FleetBudgetWatts)
+				}
 				continue
 			}
 			var se *StatusError
@@ -145,6 +168,9 @@ func (a *Agent) join(ctx context.Context) (time.Duration, error) {
 	}
 	if interval <= 0 {
 		interval = time.Second
+	}
+	if a.OnBudget != nil {
+		a.OnBudget(resp.BudgetWatts, resp.FleetBudgetWatts)
 	}
 	a.logf("joined %s (heartbeat every %v)", a.Coordinator, interval)
 	return interval, nil

@@ -1,0 +1,320 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coscale/internal/server"
+)
+
+// assignedSum totals the published budget slices across every registered
+// worker (dead workers hold a zero slice, so summing all of them is the
+// conservation invariant's left-hand side).
+func assignedSum(c *Coordinator) float64 {
+	sum := 0.0
+	for _, w := range c.Workers() {
+		sum += w.BudgetWatts
+	}
+	return sum
+}
+
+// checkConserved asserts the fleet invariant at one instant: the sum of
+// published worker slices never exceeds the global budget. The coordinator's
+// Nextafter guard makes this exact in float arithmetic — no tolerance.
+func checkConserved(t *testing.T, c *Coordinator, when string) {
+	t.Helper()
+	if sum, budget := assignedSum(c), c.Budget(); sum > budget {
+		t.Fatalf("%s: assigned %.17g W exceeds global budget %.17g W", when, sum, budget)
+	}
+}
+
+// waitConserved polls cond like waitFor, but additionally re-checks budget
+// conservation on every poll tick — the "every epoch" half of the chaos
+// assertion: the invariant must hold mid-transition, not just at rest.
+func waitConserved(t *testing.T, c *Coordinator, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		checkConserved(t, c, "while waiting for "+what)
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBudgetRebalanceUnit pins the coordinator's equal-split allocator
+// deterministically (fake clock, direct calls): register/heartbeat publish
+// slices, drain transitions and reaped deaths move budget to survivors, a
+// join mid-cap redistributes, and the published sum never exceeds the
+// budget even when the division is inexact.
+func TestBudgetRebalanceUnit(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	c, err := New(Config{
+		HeartbeatInterval: time.Second,
+		SuspectAfter:      100 * time.Minute,
+		DeadAfter:         2 * time.Hour,
+		SchedTick:         time.Minute, // background reap effectively off; reap is driven directly
+		PowerBudgetWatts:  300,
+		Transport:         okTransport{},
+		Logger:            quietLog(),
+		Clock:             clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A sole worker takes the whole budget; each join splits it further.
+	if got := c.register("a", "http://a"); got != 300 {
+		t.Fatalf("sole worker assigned %g W, want 300", got)
+	}
+	c.register("b", "http://b")
+	c.register("c", "http://c")
+	asg, fleetB, ok := c.heartbeat("a", "", server.ReadyState{Ready: true})
+	if !ok || asg != 100 || fleetB != 300 {
+		t.Fatalf("heartbeat after 3-way split: (%g, %g, %v), want (100, 300, true)", asg, fleetB, ok)
+	}
+	checkConserved(t, c, "3-way split")
+
+	// An inexact division (100/3) must still conserve: the one-ulp
+	// Nextafter guard keeps 3*share <= budget.
+	if err := c.SetBudget(100); err != nil {
+		t.Fatal(err)
+	}
+	checkConserved(t, c, "inexact split")
+	ws := c.Workers()
+	for _, w := range ws[1:] {
+		if math.Float64bits(w.BudgetWatts) != math.Float64bits(ws[0].BudgetWatts) {
+			t.Fatalf("unequal slices under equal split: %v", ws)
+		}
+	}
+
+	// A draining worker gives up its slice to the survivors.
+	if _, _, ok := c.heartbeat("b", "", server.ReadyState{Ready: true, Draining: true}); !ok {
+		t.Fatal("draining heartbeat rejected")
+	}
+	for _, w := range c.Workers() {
+		want := 50.0
+		if w.ID == "b" {
+			want = 0
+		}
+		if w.BudgetWatts != want {
+			t.Fatalf("after drain, worker %s holds %g W, want %g", w.ID, w.BudgetWatts, want)
+		}
+	}
+	checkConserved(t, c, "drain transition")
+
+	// Leave mid-rebalance: advance so only the silent (draining) worker
+	// crosses DeadAfter, then reap. Its zero slice stays zero; survivors
+	// keep 50 each under the 100 W cap.
+	advance(90 * time.Minute)
+	c.heartbeat("a", "", server.ReadyState{Ready: true})
+	c.heartbeat("c", "", server.ReadyState{Ready: true})
+	advance(90 * time.Minute) // b silent 3h > DeadAfter; a, c silent 90m
+	c.reap(clock())
+	for _, w := range c.Workers() {
+		if w.ID == "b" {
+			if w.Health != WorkerDead || w.BudgetWatts != 0 {
+				t.Fatalf("reaped worker b: health %s, %g W, want dead with 0 W", w.Health, w.BudgetWatts)
+			}
+		} else if w.Health != WorkerLive || w.BudgetWatts != 50 {
+			t.Fatalf("survivor %s: health %s, %g W, want live with 50 W", w.ID, w.Health, w.BudgetWatts)
+		}
+	}
+	checkConserved(t, c, "reaped death")
+
+	// Join mid-cap: a fresh worker triggers an immediate three-way
+	// redistribution of the still-reduced budget.
+	c.register("d", "http://d")
+	live := 0
+	for _, w := range c.Workers() {
+		if w.ID == "b" {
+			continue
+		}
+		live++
+		if 3*w.BudgetWatts > 100 {
+			t.Fatalf("post-join slice %g W over-allocates the 100 W budget", w.BudgetWatts)
+		}
+	}
+	if live != 3 {
+		t.Fatalf("want 3 live workers after join, got %d", live)
+	}
+	checkConserved(t, c, "join mid-cap")
+
+	// Removing the cap zeroes every slice; bad budgets are rejected.
+	if err := c.SetBudget(0); err != nil {
+		t.Fatal(err)
+	}
+	if sum := assignedSum(c); sum != 0 {
+		t.Fatalf("uncapped fleet still assigns %g W", sum)
+	}
+	if err := c.SetBudget(-1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if err := c.SetBudget(math.NaN()); err == nil {
+		t.Fatal("NaN budget accepted")
+	}
+}
+
+// TestBudgetChaosE2E drives the cap-event scenario over real HTTP with real
+// agents: a capped fleet steps its budget down 300 -> 240 -> 180 W while a
+// seeded ChaosTransport kills one worker's heartbeats mid-event. The
+// coordinator must reap the victim, move its slice to the survivors, keep
+// the published sum at or under the global cap on every observation, and
+// propagate each worker's slice into coscale-serve's power-cap gauges.
+func TestBudgetChaosE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second end-to-end test")
+	}
+	workers := []*testWorker{startWorker(t, "w1"), startWorker(t, "w2"), startWorker(t, "w3")}
+
+	chaos := &ChaosTransport{
+		Inner: okTransport{},
+		Plan:  ChaosPlan{Seed: 99, HeartbeatLossProb: 1}, // every gated beat drops
+	}
+	coord, err := New(Config{
+		HeartbeatInterval: 20 * time.Millisecond,
+		SuspectAfter:      150 * time.Millisecond,
+		DeadAfter:         300 * time.Millisecond,
+		SchedTick:         5 * time.Millisecond,
+		PowerBudgetWatts:  300,
+		Transport:         chaos,
+		Logger:            quietLog(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	// The victim's heartbeats route through the seeded chaos plan once the
+	// kill switch flips; until then they pass. OnBudget feeds each worker's
+	// slice straight into its serving metrics, the production wiring.
+	var killed atomic.Bool
+	victimDrop := chaos.DropBeat("w2")
+	agentCtx, stopAgents := context.WithCancel(context.Background())
+	defer stopAgents()
+	for _, w := range workers {
+		w := w
+		a := &Agent{
+			ID: w.id, Addr: w.ts.URL, Coordinator: cts.URL,
+			Ready: w.srv.Ready, OnBudget: w.srv.SetPowerCap,
+			Interval: 20 * time.Millisecond, Logger: quietLog(),
+		}
+		if w.id == "w2" {
+			a.DropBeat = func(seq int) bool { return killed.Load() && victimDrop(seq) }
+		}
+		//lint:ignore dettaint test harness goroutine
+		go a.Run(agentCtx)
+	}
+
+	capEq := func(w *testWorker, wantAsg, wantFleet float64) bool {
+		asg, fb := w.srv.PowerCap()
+		return math.Float64bits(asg) == math.Float64bits(wantAsg) &&
+			math.Float64bits(fb) == math.Float64bits(wantFleet)
+	}
+	allCap := func(wantAsg, wantFleet float64, skip string) func() bool {
+		return func() bool {
+			for _, w := range workers {
+				if w.id == skip {
+					continue
+				}
+				if !capEq(w, wantAsg, wantFleet) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	// Steady state: 300 W over three workers, 100 W each, end to end.
+	waitConserved(t, coord, 10*time.Second, "steady 3-way split", allCap(100, 300, ""))
+
+	// Cap event 1 — step to 80%: every worker observes its new slice
+	// within a heartbeat interval.
+	if err := coord.SetBudget(240); err != nil {
+		t.Fatal(err)
+	}
+	waitConserved(t, coord, 10*time.Second, "80% step", allCap(80, 240, ""))
+
+	// Cap event 2 — dip to 60% — and the victim dies mid-event: its
+	// chaos-dropped heartbeats silence it, the coordinator reaps it, and
+	// its slice moves to the survivors without ever over-allocating.
+	killed.Store(true)
+	if err := coord.SetBudget(180); err != nil {
+		t.Fatal(err)
+	}
+	waitConserved(t, coord, 10*time.Second, "victim reaped", func() bool {
+		for _, w := range coord.Workers() {
+			if w.ID == "w2" {
+				return w.Health == WorkerDead && w.BudgetWatts == 0
+			}
+		}
+		return false
+	})
+	waitConserved(t, coord, 10*time.Second, "survivors absorb the dip", allCap(90, 180, "w2"))
+
+	// Join mid-cap: a fourth worker enrolls under the reduced budget and
+	// the split becomes three-way again, 60 W each.
+	w4 := startWorker(t, "w4")
+	workers = append(workers, w4)
+	a4 := &Agent{
+		ID: w4.id, Addr: w4.ts.URL, Coordinator: cts.URL,
+		Ready: w4.srv.Ready, OnBudget: w4.srv.SetPowerCap,
+		Interval: 20 * time.Millisecond, Logger: quietLog(),
+	}
+	//lint:ignore dettaint test harness goroutine
+	go a4.Run(agentCtx)
+	waitConserved(t, coord, 10*time.Second, "join mid-cap", allCap(60, 180, "w2"))
+
+	// The coordinator's /metrics exports the power-cap trio, consistent
+	// with the state just asserted.
+	resp, err := http.Get(cts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(mb)
+	for _, want := range []string{
+		fmt.Sprintf("coscale_powercap_budget_watts %g\n", 180.0),
+		fmt.Sprintf("coscale_powercap_assigned_watts %g\n", 180.0),
+		"coscale_powercap_rebalances_total ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "coscale_powercap_rebalances_total 0\n") {
+		t.Error("/metrics reports zero rebalances after four budget transitions")
+	}
+
+	// The kill actually went through the seeded chaos plan.
+	drops := 0
+	for _, ev := range chaos.Events() {
+		if ev.Op == "heartbeat" && ev.Worker == "w2" {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Error("chaos plan recorded no dropped heartbeats for the victim")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -48,6 +49,10 @@ type Config struct {
 	// [base, base+jitter] (default 2; negative disables).
 	RetryAfterSeconds       int
 	RetryAfterJitterSeconds int
+	// PowerBudgetWatts is the fleet's global power budget, split across
+	// live workers and republished through join/heartbeat responses
+	// (0 = uncapped). Adjustable at runtime via SetBudget.
+	PowerBudgetWatts float64
 	// JournalPath is the crash-safe job journal ("" = in-memory only).
 	JournalPath string
 	// Transport executes leases (default HTTPTransport).
@@ -117,6 +122,7 @@ type workerState struct {
 	queueDepth int
 	inflight   int
 	dead       bool
+	budgetW    float64 // assigned slice of the fleet power budget
 }
 
 // Worker health states.
@@ -146,6 +152,7 @@ type fleetMetrics struct {
 	reclaimed  atomic.Int64 // leases reclaimed from dead workers
 	shed       atomic.Int64 // sweeps refused for want of live workers
 	heartbeats atomic.Int64 // heartbeats accepted
+	rebalances atomic.Int64 // power-budget reassignments that changed a slice
 }
 
 // Coordinator owns the fleet: worker membership and health, the consistent
@@ -166,6 +173,7 @@ type Coordinator struct {
 	mu      sync.Mutex
 	ring    *Ring
 	workers map[string]*workerState
+	budgetW float64       // fleet power budget (0 = uncapped), guarded by mu
 	update  chan struct{} // closed and replaced on every state change
 
 	retrySeq atomic.Int64
@@ -190,6 +198,7 @@ func New(cfg Config) (*Coordinator, error) {
 		cancel:  cancel,
 		ring:    NewRing(cfg.VirtualNodes),
 		workers: map[string]*workerState{},
+		budgetW: cfg.PowerBudgetWatts,
 		update:  make(chan struct{}),
 	}
 	c.started = c.now()
@@ -272,6 +281,9 @@ func (c *Coordinator) reap(now time.Time) {
 			c.ring.Remove(id)
 			newlyDead = append(newlyDead, id)
 		}
+	}
+	if len(newlyDead) > 0 {
+		c.rebalanceLocked() // dead workers' budget slices move to survivors
 	}
 	c.mu.Unlock()
 	for _, id := range newlyDead {
@@ -389,7 +401,7 @@ func (c *Coordinator) execute(job JobRef, attempt int, ep Endpoint) {
 }
 
 // register adds a worker (or revives a dead one) and puts it on the ring.
-func (c *Coordinator) register(id, addr string) {
+func (c *Coordinator) register(id, addr string) (assigned float64) {
 	now := c.now()
 	c.mu.Lock()
 	w := c.workers[id]
@@ -402,32 +414,40 @@ func (c *Coordinator) register(id, addr string) {
 	w.dead = false
 	w.draining = false
 	c.ring.Add(id)
+	c.rebalanceLocked()
+	assigned = w.budgetW
 	c.mu.Unlock()
 	c.logf("worker %s joined at %s", id, addr)
 	c.bump()
+	return assigned
 }
 
 // heartbeat refreshes a worker's lease on membership. It reports false for
 // unknown or already-dead workers — the 404 tells the agent to rejoin, which
 // is how a worker recovers from a coordinator restart or its own death
 // verdict.
-func (c *Coordinator) heartbeat(id, addr string, rs server.ReadyState) bool {
+func (c *Coordinator) heartbeat(id, addr string, rs server.ReadyState) (assigned, fleetBudget float64, ok bool) {
 	now := c.now()
 	c.mu.Lock()
 	w := c.workers[id]
 	if w == nil || w.dead {
 		c.mu.Unlock()
-		return false
+		return 0, 0, false
 	}
 	if addr != "" {
 		w.addr = addr
 	}
 	w.lastBeat = now
-	w.draining = rs.Draining || !rs.Ready
+	draining := rs.Draining || !rs.Ready
+	if draining != w.draining {
+		w.draining = draining
+		c.rebalanceLocked() // a drain transition moves budget between workers
+	}
 	w.queueDepth = rs.QueueDepth
+	assigned, fleetBudget = w.budgetW, c.budgetW
 	c.mu.Unlock()
 	c.m.heartbeats.Add(1)
-	return true
+	return assigned, fleetBudget, true
 }
 
 // liveWorkers counts workers currently eligible for new leases.
@@ -442,6 +462,69 @@ func (c *Coordinator) liveWorkers(now time.Time) int {
 		}
 	}
 	return n
+}
+
+// rebalanceLocked recomputes every worker's slice of the fleet power
+// budget: an equal split over non-dead, non-draining workers (the
+// degenerate water-filling — the coordinator holds no per-node
+// power/performance frontiers; internal/fastcap is the frontier-aware
+// allocator driving the same SetCap hook). The one-ulp Nextafter guard
+// makes the conservation invariant exact: the sum of published slices
+// never exceeds the budget, in float arithmetic, at any fleet size.
+// Callers hold c.mu.
+func (c *Coordinator) rebalanceLocked() {
+	ids := c.workerIDsLocked()
+	n := 0
+	for _, id := range ids {
+		w := c.workers[id]
+		if !w.dead && !w.draining {
+			n++
+		}
+	}
+	share := 0.0
+	if c.budgetW > 0 && n > 0 {
+		share = c.budgetW / float64(n)
+		if share*float64(n) > c.budgetW {
+			share = math.Nextafter(share, 0)
+		}
+	}
+	changed := false
+	for _, id := range ids {
+		w := c.workers[id]
+		s := share
+		if w.dead || w.draining {
+			s = 0
+		}
+		if math.Float64bits(s) != math.Float64bits(w.budgetW) {
+			w.budgetW = s
+			changed = true
+		}
+	}
+	if changed {
+		c.m.rebalances.Add(1)
+	}
+}
+
+// SetBudget replaces the fleet's global power budget at runtime (0 removes
+// the cap) and rebalances worker slices immediately; workers observe their
+// new slice on their next heartbeat.
+func (c *Coordinator) SetBudget(watts float64) error {
+	if watts < 0 || math.IsNaN(watts) {
+		return fmt.Errorf("fleet: power budget %g W must be non-negative", watts)
+	}
+	c.mu.Lock()
+	c.budgetW = watts
+	c.rebalanceLocked()
+	c.mu.Unlock()
+	c.bump()
+	return nil
+}
+
+// Budget returns the current fleet power budget (0 = uncapped).
+func (c *Coordinator) Budget() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budgetW
 }
 
 // Submit admits a sweep, shedding with an error when no live worker exists
@@ -505,12 +588,13 @@ func (c *Coordinator) retryAfterSeconds() int {
 
 // WorkerInfo is the externally visible state of one registered worker.
 type WorkerInfo struct {
-	ID         string `json:"id"`
-	Addr       string `json:"addr"`
-	Health     string `json:"health"`
-	Draining   bool   `json:"draining,omitempty"`
-	QueueDepth int    `json:"queue_depth"`
-	Inflight   int    `json:"inflight"`
+	ID          string  `json:"id"`
+	Addr        string  `json:"addr"`
+	Health      string  `json:"health"`
+	Draining    bool    `json:"draining,omitempty"`
+	QueueDepth  int     `json:"queue_depth"`
+	Inflight    int     `json:"inflight"`
+	BudgetWatts float64 `json:"budget_watts,omitempty"`
 }
 
 // Workers snapshots the registered workers in sorted ID order.
@@ -524,6 +608,7 @@ func (c *Coordinator) Workers() []WorkerInfo {
 		out = append(out, WorkerInfo{
 			ID: w.id, Addr: w.addr, Health: w.health(now, c.cfg),
 			Draining: w.draining, QueueDepth: w.queueDepth, Inflight: w.inflight,
+			BudgetWatts: w.budgetW,
 		})
 	}
 	return out
@@ -659,6 +744,15 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) erro
 	fmt.Fprintf(w, "coscale_fleet_sweeps_shed_total %d\n", c.m.shed.Load())
 	fmt.Fprintf(w, "coscale_fleet_heartbeats_total %d\n", c.m.heartbeats.Load())
 	fmt.Fprintf(w, "coscale_fleet_uptime_seconds %g\n", c.now().Sub(c.started).Seconds())
+	c.mu.Lock()
+	budget, assigned := c.budgetW, 0.0
+	for _, id := range c.workerIDsLocked() {
+		assigned += c.workers[id].budgetW
+	}
+	c.mu.Unlock()
+	fmt.Fprintf(w, "coscale_powercap_budget_watts %g\n", budget)
+	fmt.Fprintf(w, "coscale_powercap_assigned_watts %g\n", assigned)
+	fmt.Fprintf(w, "coscale_powercap_rebalances_total %d\n", c.m.rebalances.Load())
 	return nil
 }
 
@@ -706,11 +800,13 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) error {
 	if req.ID == "" || req.Addr == "" {
 		return errorf(http.StatusBadRequest, "join requires id and addr")
 	}
-	c.register(req.ID, req.Addr)
+	assigned := c.register(req.ID, req.Addr)
 	writeJSON(w, http.StatusOK, JoinResponse{
 		HeartbeatMillis:    c.cfg.HeartbeatInterval.Milliseconds(),
 		SuspectAfterMillis: c.cfg.SuspectAfter.Milliseconds(),
 		DeadAfterMillis:    c.cfg.DeadAfter.Milliseconds(),
+		BudgetWatts:        assigned,
+		FleetBudgetWatts:   c.Budget(),
 	})
 	return nil
 }
@@ -721,10 +817,15 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) er
 	if err := decodeJSON(r, &req); err != nil {
 		return err
 	}
-	if !c.heartbeat(id, req.Addr, req.Ready) {
+	assigned, fleetBudget, ok := c.heartbeat(id, req.Addr, req.Ready)
+	if !ok {
 		return errorf(http.StatusNotFound, "unknown worker %q: rejoin", id)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	writeJSON(w, http.StatusOK, HeartbeatResponse{
+		Status:           "ok",
+		BudgetWatts:      assigned,
+		FleetBudgetWatts: fleetBudget,
+	})
 	return nil
 }
 

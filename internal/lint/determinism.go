@@ -21,7 +21,7 @@ import (
 //     collect and sort the keys first.
 var Determinism = &Analyzer{
 	Name:  "determinism",
-	Doc:   "forbid time.Now, global math/rand, and map iteration in sim/trace/policy/core/fault/fleet",
+	Doc:   "forbid time.Now, global math/rand, and map iteration in sim/trace/policy/core/fault/fleet/fastcap",
 	Match: determinismScope,
 	Run:   runDeterminism,
 }
@@ -31,8 +31,9 @@ var Determinism = &Analyzer{
 // bit-identically from their seed (same seed + scenario -> same Result);
 // fleet because chaos injection, retry backoff, and routing must replay the
 // same way (the coordinator's one wall-clock read is an explicit, reasoned
-// ignore).
-var determinismPackages = []string{"sim", "trace", "policy", "core", "fault", "fleet"}
+// ignore); fastcap because the budget allocator pins Float64bits-identical
+// assignments across replays and node orderings.
+var determinismPackages = []string{"sim", "trace", "policy", "core", "fault", "fleet", "fastcap"}
 
 // determinismScope matches the reproducibility-critical packages and their
 // subpackages.

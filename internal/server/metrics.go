@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,14 @@ type metrics struct {
 	cacheMisses atomic.Int64
 
 	epochs atomic.Int64 // engine epochs simulated by this process
+
+	// Power-cap state published by the fleet agent's budget hook
+	// (Server.SetPowerCap): this worker's assigned slice and the fleet
+	// budget it came from, stored as Float64bits, plus a counter of
+	// assignments that actually changed the slice.
+	capAssignedBits atomic.Uint64
+	capBudgetBits   atomic.Uint64
+	capRebalances   atomic.Int64
 
 	// Per-decision search cost across every policy run this process has
 	// executed (timedPolicy feeds these): call count, summed and maximum
@@ -130,5 +139,8 @@ func (m *metrics) write(w io.Writer, uptime time.Duration, tablesBuilds, tablesH
 	fmt.Fprintf(w, "coscale_search_duration_ns_max %d\n", m.searchMaxNs.Load())
 	fmt.Fprintf(w, "coscale_epochs_simulated_total %d\n", epochs)
 	fmt.Fprintf(w, "coscale_epochs_per_second %g\n", eps)
+	fmt.Fprintf(w, "coscale_powercap_budget_watts %g\n", math.Float64frombits(m.capBudgetBits.Load()))
+	fmt.Fprintf(w, "coscale_powercap_assigned_watts %g\n", math.Float64frombits(m.capAssignedBits.Load()))
+	fmt.Fprintf(w, "coscale_powercap_rebalances_total %d\n", m.capRebalances.Load())
 	fmt.Fprintf(w, "coscale_uptime_seconds %g\n", uptime.Seconds())
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"runtime"
@@ -272,6 +273,24 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) error {
 // completion (cache hits and deduped attaches excluded) — the counter the
 // fleet tests use to prove a committed result is never recomputed.
 func (s *Server) ExecutedJobs() int64 { return s.metrics.done.Load() }
+
+// SetPowerCap publishes this worker's assigned slice of the fleet power
+// budget (and the global budget it came from) at /metrics. The fleet
+// agent's OnBudget hook calls it after the join and every heartbeat; only
+// bit-changes count as rebalances.
+func (s *Server) SetPowerCap(assigned, fleetBudget float64) {
+	s.metrics.capBudgetBits.Store(math.Float64bits(fleetBudget))
+	if s.metrics.capAssignedBits.Swap(math.Float64bits(assigned)) != math.Float64bits(assigned) {
+		s.metrics.capRebalances.Add(1)
+	}
+}
+
+// PowerCap returns the worker's currently assigned power budget slice and
+// the fleet-wide budget (both 0 when uncapped).
+func (s *Server) PowerCap() (assigned, fleetBudget float64) {
+	return math.Float64frombits(s.metrics.capAssignedBits.Load()),
+		math.Float64frombits(s.metrics.capBudgetBits.Load())
+}
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")

@@ -269,6 +269,27 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("coscale_tables_cache_hits_total = %v, want >= 3", v)
 	}
 
+	// The fleet agent's budget hook publishes the power-cap gauges: the
+	// assigned slice, the fleet budget it came from, and a counter that
+	// moves only when the slice actually changes.
+	s.SetPowerCap(120, 360)
+	s.SetPowerCap(120, 360) // identical slice: no rebalance counted
+	s.SetPowerCap(90, 360)
+	_, mbody = getJSON(t, client, ts.URL+"/metrics")
+	m = string(mbody)
+	if v := metricValue(t, m, "coscale_powercap_budget_watts"); v != 360 {
+		t.Errorf("coscale_powercap_budget_watts = %v, want 360", v)
+	}
+	if v := metricValue(t, m, "coscale_powercap_assigned_watts"); v != 90 {
+		t.Errorf("coscale_powercap_assigned_watts = %v, want 90", v)
+	}
+	if v := metricValue(t, m, "coscale_powercap_rebalances_total"); v != 2 {
+		t.Errorf("coscale_powercap_rebalances_total = %v, want 2 (one initial assignment, one change)", v)
+	}
+	if asg, fleetB := s.PowerCap(); asg != 90 || fleetB != 360 {
+		t.Errorf("PowerCap() = (%v, %v), want (90, 360)", asg, fleetB)
+	}
+
 	// Graceful drain: returns once idle, and submissions refuse with 503.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
