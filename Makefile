@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt-check lint escapes escapes-baseline test test-race bench bench-smoke bench-json bench-compare bit-identity profile fmt fuzz-smoke fault-smoke serve-smoke fleet-smoke fastcap-smoke
+.PHONY: check build vet fmt-check lint escapes escapes-baseline test test-race bench bench-smoke bench-json bench-compare bit-identity profile fmt fuzz-smoke fault-smoke serve-smoke fleet-smoke fastcap-smoke warm-smoke
 
 ## check: the full gate — tier-1 verify + vet + gofmt + coscale-lint +
 ## escape-analysis gate + the parallel-search bit-identity property tests
@@ -104,6 +104,16 @@ fastcap-smoke:
 	$(GO) test -race -count=1 ./internal/fastcap
 	$(GO) test -race -count=1 -run 'TestFastCap' ./internal/experiments
 	$(GO) run -race ./cmd/coscale-experiments -exp fastcap -fastcap-nodes 3 -fastcap-epochs 12
+
+## warm-smoke: the warm-start search suite under the race detector — the
+## controller-level warm property tests (bound re-validation, Reset bit
+## identity, parallel-lane bit identity, zero-alloc steady state), the
+## sim-level golden replay, the ablation gates, and a reduced-budget run of
+## the -exp warmstart ablation (mirrors CI's warm-smoke job; DESIGN.md §14)
+warm-smoke:
+	$(GO) test -race -count=1 -run 'TestWarm|TestMinParallelItems|TestRelDelta' ./internal/core ./internal/sim
+	$(GO) test -race -count=1 -run 'TestWarmStart' ./internal/experiments
+	$(GO) run -race ./cmd/coscale-experiments -exp warmstart -budget 100000000
 
 vet:
 	$(GO) vet ./...

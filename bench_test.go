@@ -313,6 +313,33 @@ func BenchmarkSearch256Cores(b *testing.B)  { benchSearch(b, 256) }
 func BenchmarkSearch512Cores(b *testing.B)  { benchSearch(b, 512) }
 func BenchmarkSearch1024Cores(b *testing.B) { benchSearch(b, 1024) }
 
+// benchSearchWarm measures the warm-hit decision path (DESIGN.md §14): the
+// controller is primed with one cold decision on the same observation, so
+// every timed Decide classifies the epoch as stable, seeds from the previous
+// solution and serves its marginals from the snapshot table. The delta to
+// the Search rows above is the warm-start saving on a perfectly stable
+// phase — its upper bound.
+func benchSearchWarm(b *testing.B, n int) {
+	cfg, obs := searchBenchObs(n)
+	cs := must(core.NewWithOptions(cfg, core.Options{WarmStart: true}))
+	cs.Decide(obs) // cold prime: populates the snapshot table and phase signature
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Decide(obs)
+	}
+	b.StopTimer()
+	st := cs.SearchStats()
+	if st.WarmHits != 1 {
+		b.Fatalf("warm benchmark fell back to the cold search: %+v", st)
+	}
+	b.ReportMetric(float64(st.CoreEvals), "evals")
+	reportPerMove(b, cs)
+}
+
+func BenchmarkSearchWarm128Cores(b *testing.B)  { benchSearchWarm(b, 128) }
+func BenchmarkSearchWarm512Cores(b *testing.B)  { benchSearchWarm(b, 512) }
+func BenchmarkSearchWarm1024Cores(b *testing.B) { benchSearchWarm(b, 1024) }
+
 // benchSearchParallel measures the sharded marginal scans (DESIGN.md §11):
 // the same decision as benchSearch, with candidate scoring fanned across
 // Options.Parallelism worker lanes. Decisions are bit-identical to the

@@ -140,6 +140,34 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, row)
 	}
 
+	// Warm-started decisions (DESIGN.md §14): the same observations with one
+	// cold prime, so every timed decision is a warm hit on a perfectly
+	// stable phase. The delta to the Search rows is the warm-start ceiling.
+	for _, n := range []int{128, 512, 1024} {
+		cfg, obs := experiments.SearchBenchObs(n)
+		cs, err := core.NewWithOptions(cfg, core.Options{WarmStart: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs.Decide(obs) // cold prime: snapshot table and phase signature
+		row := bench(fmt.Sprintf("SearchWarm%dCores", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cs.Decide(obs)
+			}
+		})
+		st := cs.SearchStats()
+		if st.WarmHits != 1 {
+			log.Fatalf("SearchWarm%dCores fell back to the cold search: %+v", n, st)
+		}
+		if st.Moves > 0 {
+			row.Moves = st.Moves
+			row.NsPerMove = row.NsPerOp / float64(st.Moves)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, row)
+	}
+
 	// Sharded marginal scans (DESIGN.md §11): the same 512- and 1024-core
 	// decisions with candidate scoring fanned across -parallelism lanes.
 	// Bit-identical to the serial rows above, so the delta is pure scan

@@ -30,6 +30,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +52,7 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 4, "lease attempts per job before terminal failure")
 		inflight    = flag.Int("max-inflight", 4, "concurrent leases per worker")
 		budget      = flag.Float64("budget", 0, "fleet power budget in watts, split across live workers (0 = uncapped)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 		version     = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -65,6 +67,9 @@ func main() {
 		log.Fatal(err)
 	}
 	logger := log.New(os.Stderr, "coscale-fleet: ", 0)
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr, logger)
+	}
 	if err := run(ln, logger, fleet.Config{
 		HeartbeatInterval:    *heartbeat,
 		JobTimeout:           *jobTimeout,
@@ -75,6 +80,24 @@ func main() {
 		Logger:               logger,
 	}); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// servePprof exposes net/http/pprof on its own listener, opt-in via -pprof
+// and never mounted on the coordinator mux: the profiling endpoints can stay
+// on loopback while the API listener is reachable from the fleet. Serving
+// errors are logged, not fatal — losing profiling must not take the
+// coordinator down.
+func servePprof(addr string, logger *log.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Printf("pprof listening on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Printf("pprof: %v", err)
 	}
 }
 

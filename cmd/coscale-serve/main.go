@@ -30,6 +30,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +55,7 @@ func main() {
 		join         = flag.String("join", "", "coordinator base URL to enroll with (e.g. http://fleet:8090)")
 		joinID       = flag.String("join-id", "", "stable worker identity for the fleet (default host:port)")
 		advertise    = flag.String("advertise", "", "base URL the coordinator should dial this worker at (default derived from -addr)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 		version      = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -68,6 +70,9 @@ func main() {
 		log.Fatal(err)
 	}
 	logger := log.New(os.Stderr, "coscale-serve: ", 0)
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr, logger)
+	}
 	fj := fleetJoin{coordinator: *join, id: *joinID, advertise: *advertise}
 	if fj.coordinator != "" {
 		if fj.id == "" {
@@ -79,6 +84,24 @@ func main() {
 	}
 	if err := run(ln, logger, *workers, *queueDepth, *cacheSize, *drainTimeout, fj); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// servePprof exposes net/http/pprof on its own listener, opt-in via -pprof
+// and never mounted on the service mux: the profiling endpoints can stay on
+// loopback while the API listener is reachable from the fleet. Serving
+// errors are logged, not fatal — losing profiling must not take the service
+// down.
+func servePprof(addr string, logger *log.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Printf("pprof listening on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Printf("pprof: %v", err)
 	}
 }
 

@@ -48,6 +48,27 @@ type Options struct {
 	// worker pool already fills the cores with concurrent decisions).
 	// Decisions are bit-identical at every setting.
 	Parallelism int
+	// MinParallelItems is the fan-out floor for the sharded scans: scans
+	// with fewer items run inline on the caller because the per-scan
+	// channel handshake costs more than a few hundred kernel evaluations.
+	// 0 keeps the built-in default (192, estimated on a single-CPU box —
+	// DESIGN.md §11 documents the re-tuning procedure for multicore
+	// hosts). The floor only chooses who executes the kernel, never what
+	// it computes, so any setting is bit-identical.
+	MinParallelItems int
+	// WarmStart seeds each epoch's search from the previous epoch's
+	// accepted solution when the phase detector classifies the epoch as
+	// stable, re-scoring only cores whose counters moved (warm.go;
+	// DESIGN.md §14). The warm seed is always re-validated against the
+	// slowdown bound with the full evaluator; a failed validation or a
+	// phase break falls back to the cold full search.
+	WarmStart bool
+	// PhaseEpsilon is the relative counter-delta threshold of the warm-
+	// start phase detector: a per-core signature (CPI, memory traffic per
+	// instruction) moving by more than this fraction marks the core
+	// as changed, and too many changed cores (or an aggregate memory
+	// traffic/latency shift) breaks the phase. 0 means the default 0.05.
+	PhaseEpsilon float64
 }
 
 // SearchStats counts the work of the most recent Decide call's search walk,
@@ -62,10 +83,21 @@ type Options struct {
 // repair, bottom-step cores excluded); under parallel scans it is summed
 // from per-lane counters after the join, so it is race-free and equal to
 // the serial path's count at any parallelism.
+// The warm-start counters record the decision's outcome when
+// Options.WarmStart is on (warm.go): per Decide at most one of WarmHits and
+// ColdSearches is 1, and WarmFallbacks additionally marks a cold search that
+// was preceded by a failed warm attempt (the seed failed re-validation), so
+// WarmFallbacks is a subset of ColdSearches. Controllers without WarmStart
+// count every decision in ColdSearches. Consumers aggregate by summing
+// across decisions (the serve layer exports the sums at /metrics).
 type SearchStats struct {
 	Moves     int
 	Evals     int
 	CoreEvals int
+
+	WarmHits      int
+	WarmFallbacks int
+	ColdSearches  int
 }
 
 // SearchStats returns counters for the last Decide call's search.
@@ -106,6 +138,17 @@ type CoScale struct {
 	scanEvals   []int      // per-lane kernel-evaluation counts
 	minParallel int        // fan-out threshold; 0 = minParallelItems (tests lower it)
 
+	// Warm-start state (warm.go; active when opts.WarmStart).
+	warmRec     bool        // record marginal snapshots during the scans
+	phaseEps    float64     // resolved Options.PhaseEpsilon
+	warmStride  int         // CoreLadder.Steps(): warmTab row width
+	warmTab     []warmEntry // (core, step)-indexed marginal snapshots
+	prevCPI     []float64   // previous Decide's per-core phase signature
+	prevMPI     []float64
+	prevMemRate float64 // previous Decide's aggregate memory signature
+	prevMemLat  float64
+	prevValid   bool // a previous signature exists (false after Reset)
+
 	stats SearchStats // work counters for the last Decide's search
 }
 
@@ -140,6 +183,8 @@ func NewWithOptions(cfg policy.Config, opts Options) (*CoScale, error) {
 		identity: make([]int, n),
 		scanOut:  make([]coreMarg, n),
 	}
+	c.minParallel = opts.MinParallelItems
+	c.initWarm()
 	c.attachPool(opts.Parallelism)
 	return c, nil
 }
@@ -147,6 +192,8 @@ func NewWithOptions(cfg policy.Config, opts Options) (*CoScale, error) {
 // Name implements policy.Policy.
 func (c *CoScale) Name() string {
 	switch {
+	case c.opts.WarmStart:
+		return "CoScale-Warm"
 	case c.opts.DisableGrouping:
 		return "CoScale-NoGrouping"
 	case c.opts.DisableMarginalCache:
@@ -170,6 +217,7 @@ func (c *CoScale) Reset() {
 	c.slack.Reset()
 	c.last.CoreSteps = perf.ResizeInts(c.last.CoreSteps, c.cfg.NCores)
 	c.last.MemStep = 0
+	c.resetWarm()
 }
 
 // threadsFor returns the thread-on-core mapping without allocating
@@ -214,7 +262,14 @@ func (c *CoScale) Decide(obs policy.Observation) policy.Decision {
 	c.avail = c.slack.AvailableInto(c.avail, c.threadsFor(obs))
 	c.limits = c.cfg.LimitsInto(c.limits, c.avail)
 	c.scaled = policy.ScaleLimits(c.scaled, c.limits)
-	d := c.search(c.ev)
+	c.stats = SearchStats{}
+	var d policy.Decision
+	if c.opts.WarmStart {
+		d = c.decideWarm(obs)
+	} else {
+		c.stats.ColdSearches = 1
+		d = c.search(c.ev)
+	}
 	c.last.CoreSteps = perf.ResizeInts(c.last.CoreSteps, len(d.CoreSteps))
 	copy(c.last.CoreSteps, d.CoreSteps)
 	c.last.MemStep = d.MemStep
@@ -256,21 +311,31 @@ type coreMarg struct {
 	dPower float64 // watts saved by one step down
 }
 
+// search is the cold path: the full Figure 2 walk from the all-max point.
+//
 //hot:path
 func (c *CoScale) search(ev *policy.Evaluator) policy.Decision {
 	n := c.cfg.NCores
 	st := &c.st
-	c.stats = SearchStats{}
 	st.steps = perf.ResizeInts(st.steps, n)
 	st.memStep = 0
 	st.memValid, st.coreValid = false, false
 	// The walk starts at the all-max point the evaluator already solved for
 	// its baseline; copying it is bit-identical to re-evaluating zeros.
 	ev.EvaluateBaselineInto(&st.cur)
+	return c.descend(ev, st)
+}
 
+// descend runs the greedy walk from wherever st stands — the all-max point
+// for the cold search, the re-validated previous solution for a warm start —
+// and returns the minimum-SER configuration it reaches.
+//
+//hot:path
+func (c *CoScale) descend(ev *policy.Evaluator, st *searchState) policy.Decision {
+	n := c.cfg.NCores
 	c.best = perf.ResizeInts(c.best, n)
 	copy(c.best, st.steps)
-	bestMem := 0
+	bestMem := st.memStep
 	bestSER := st.cur.SER
 
 	maxIters := (c.cfg.MemLadder.Steps() + c.cfg.CoreLadder.Steps()*n) + 4
@@ -409,6 +474,14 @@ func (c *CoScale) marginalFor(i int, pos int32) (coreMarg, bool) {
 	if c.cfg.CoreLadder.Bottom(step) {
 		return coreMarg{core: -1}, false
 	}
+	if c.warmRec {
+		// Kernel-level memoization across epochs (warm.go): a snapshot of
+		// this (core, step) whose counter signature still matches is reused
+		// — with a fresh bound recheck — instead of re-scored.
+		if m, handled := c.warmReuse(i, step, pos); handled {
+			return m, false
+		}
+	}
 	lat := sc.lat
 	var tpiCur, tpiNext, pCur, pNext float64
 	if sc.useTables {
@@ -424,6 +497,9 @@ func (c *CoScale) marginalFor(i int, pos int32) (coreMarg, bool) {
 	base := sc.base[i]
 	slowAfter := tpiNext / base
 	if slowAfter > c.scaled[i] {
+		if c.warmRec {
+			c.recordWarm(i, step, tpiCur, tpiNext, 0, warmBoundLimited)
+		}
 		return coreMarg{core: -1}, true
 	}
 	if sc.useTables {
@@ -434,12 +510,16 @@ func (c *CoScale) marginalFor(i int, pos int32) (coreMarg, bool) {
 		pCur = c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step), c.cfg.CoreLadder.Hz(step), 1/tpiCur, mix)
 		pNext = c.cfg.Power.Core.Power(c.cfg.CoreLadder.Volts(step+1), c.cfg.CoreLadder.Hz(step+1), 1/tpiNext, mix)
 	}
+	dPower := (pCur - pNext) * sc.cpuScale
+	if c.warmRec {
+		c.recordWarm(i, step, tpiCur, tpiNext, dPower, warmEligible)
+	}
 	return coreMarg{
 		core:   int32(i),
 		pos:    pos,
 		dTPI:   tpiNext - tpiCur,
 		dPerf:  (tpiNext - tpiCur) / base,
-		dPower: (pCur - pNext) * sc.cpuScale,
+		dPower: dPower,
 	}, true
 }
 

@@ -26,11 +26,13 @@ const (
 	scanRepair         // j indexes the moved prefix of st.coreList
 )
 
-// minParallelItems is the fan-out threshold: below it the coordinator runs
-// the whole scan inline — per-scan channel signalling costs more than a few
-// hundred kernel evaluations. The threshold only chooses who executes the
+// minParallelItems is the default fan-out threshold: below it the coordinator
+// runs the whole scan inline — per-scan channel signalling costs more than a
+// few hundred kernel evaluations. The threshold only chooses who executes the
 // kernel, never what it computes, so crossing it cannot change results.
-// Tests lower CoScale.minParallel to force fan-out at small core counts.
+// Options.MinParallelItems overrides it at construction (DESIGN.md §11
+// documents the tuning procedure); tests lower CoScale.minParallel directly
+// to force fan-out at small core counts.
 const minParallelItems = 192
 
 // scanCtx is the per-scan snapshot every lane reads: the walk state the
@@ -50,6 +52,10 @@ type scanCtx struct {
 	tbl       *perf.StepTable
 	ptbl      *power.CoreTable
 	ev        *policy.Evaluator // direct-path model access (DisableTables)
+
+	// Warm-start signature source (warm.go), hoisted only when the
+	// controller records marginal snapshots (Options.WarmStart).
+	stats []perf.CoreStats // ev.Stats(): per-core counter-derived statistics
 }
 
 // shardRunner is what a worker lane executes: one fixed shard of the
@@ -238,6 +244,9 @@ func (c *CoScale) setupScan(ev *policy.Evaluator, st *searchState, mode, items i
 	sc.ev = ev
 	if ev.UseTables {
 		sc.tbl, sc.ptbl = ev.Tables()
+	}
+	if c.warmRec {
+		sc.stats = ev.Stats()
 	}
 }
 

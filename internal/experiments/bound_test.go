@@ -21,7 +21,7 @@ func TestFaultFreeBoundInvariant(t *testing.T) {
 		t.Skip("full policy × mix sweep")
 	}
 	r := NewRunner(testBudget)
-	policies := append(append([]PolicyName{}, PracticalPolicies...), HardenedName)
+	policies := append(append([]PolicyName{}, PracticalPolicies...), HardenedName, WarmName)
 	mixes := workload.Names()
 
 	type cell struct {

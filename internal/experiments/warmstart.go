@@ -1,0 +1,156 @@
+// Warm-start ablation (DESIGN.md §14): the same trace-driven simulations run
+// with the cold full search and with core.Options.WarmStart, comparing the
+// per-epoch search work (SearchStats.CoreEvals) and the resulting energy.
+// The claim under test: on stable phases the warm path re-scores a small
+// fraction of the cores (≥3× fewer per-core marginal evaluations) while the
+// decisions stay close enough that total energy moves by well under 1%, and
+// the slowdown bound holds throughout (the bound property test covers every
+// mix; the rows here record the worst degradation for the table).
+
+package experiments
+
+import (
+	"fmt"
+
+	"coscale/internal/core"
+	"coscale/internal/policy"
+	"coscale/internal/sim"
+	"coscale/internal/workload"
+)
+
+// WarmStartMixes is the ablation's default mix set: one mix per paper class,
+// so the study covers memory-bound, balanced, compute-bound and mixed phase
+// behaviour.
+var WarmStartMixes = []string{"MEM1", "MID1", "ILP1", "MIX1"}
+
+// WarmStartRow is one mix of the warm-start ablation.
+type WarmStartRow struct {
+	Mix           string
+	Epochs        int // decision epochs of the warm run
+	WarmHits      int
+	WarmFallbacks int
+	ColdSearches  int
+
+	ColdEvalsPerEpoch float64 // cold run: CoreEvals per epoch
+	WarmEvalsPerHit   float64 // warm run: CoreEvals per warm-hit epoch
+	EvalsRatio        float64 // ColdEvalsPerEpoch / WarmEvalsPerHit (0 if no hits)
+
+	EnergyDeltaPct float64 // warm vs cold total energy, percent (positive = warm spent more)
+	WorstDegCold   float64 // worst program degradation vs no-DVFS baseline
+	WorstDegWarm   float64
+}
+
+// searchProbe wraps a controller to accumulate its per-decision SearchStats
+// across an engine run. The engine sees an ordinary policy; the probe adds
+// nothing to the decision path but the counter reads.
+type searchProbe struct {
+	cs *core.CoScale
+
+	epochs       int
+	coreEvals    int
+	warmHitEvals int // CoreEvals summed over warm-hit epochs only
+	hits         int
+	fallbacks    int
+	colds        int
+}
+
+func (p *searchProbe) Name() string { return p.cs.Name() }
+
+func (p *searchProbe) Decide(obs policy.Observation) policy.Decision {
+	d := p.cs.Decide(obs)
+	s := p.cs.SearchStats()
+	p.epochs++
+	p.coreEvals += s.CoreEvals
+	p.hits += s.WarmHits
+	p.fallbacks += s.WarmFallbacks
+	p.colds += s.ColdSearches
+	if s.WarmHits > 0 {
+		p.warmHitEvals += s.CoreEvals
+	}
+	return d
+}
+
+func (p *searchProbe) Observe(epoch policy.Observation) { p.cs.Observe(epoch) }
+
+// warmRun simulates one (mix, warm?) configuration with a probed controller.
+func (r *Runner) warmRun(mixName string, warm bool) (*sim.Result, *searchProbe, error) {
+	cfg := sim.Config{Mix: workload.MustGet(mixName), InstrBudget: r.InstrBudget}
+	pcfg := cfg.PolicyConfig()
+	pcfg.Tables = &r.tables
+	cs, err := core.NewWithOptions(pcfg, core.Options{WarmStart: warm})
+	if err != nil {
+		return nil, nil, err
+	}
+	probe := &searchProbe{cs: cs}
+	cfg.Policy = probe
+	eng, err := sim.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := eng.RunContext(r.baseCtx())
+	return res, probe, err
+}
+
+// WarmStart runs the ablation over the given mixes (nil selects
+// WarmStartMixes). Both controllers replay identical trace-driven
+// simulations, so every difference between the cold and warm columns is the
+// warm path's doing. Deterministic: same (mixes, budget) ⇒ identical rows.
+func (r *Runner) WarmStart(mixes []string) ([]WarmStartRow, error) {
+	if len(mixes) == 0 {
+		mixes = WarmStartMixes
+	}
+	rows := make([]WarmStartRow, len(mixes))
+	err := r.forEach(len(mixes), func(i int) error {
+		mix := mixes[i]
+		base, err := r.baseline(r.baseCtx(), mix, nil, "default")
+		if err != nil {
+			return err
+		}
+		coldRes, coldProbe, err := r.warmRun(mix, false)
+		if err != nil {
+			return err
+		}
+		warmRes, warmProbe, err := r.warmRun(mix, true)
+		if err != nil {
+			return err
+		}
+
+		row := WarmStartRow{
+			Mix:           mix,
+			Epochs:        warmProbe.epochs,
+			WarmHits:      warmProbe.hits,
+			WarmFallbacks: warmProbe.fallbacks,
+			ColdSearches:  warmProbe.colds,
+		}
+		if coldProbe.epochs > 0 {
+			row.ColdEvalsPerEpoch = float64(coldProbe.coreEvals) / float64(coldProbe.epochs)
+		}
+		if warmProbe.hits > 0 {
+			row.WarmEvalsPerHit = float64(warmProbe.warmHitEvals) / float64(warmProbe.hits)
+			if row.WarmEvalsPerHit > 0 {
+				row.EvalsRatio = row.ColdEvalsPerEpoch / row.WarmEvalsPerHit
+			}
+		}
+		row.EnergyDeltaPct = (warmRes.Energy.Total()/coldRes.Energy.Total() - 1) * 100
+		row.WorstDegCold = (&Outcome{Base: base, Run: coldRes}).WorstDegradation()
+		row.WorstDegWarm = (&Outcome{Base: base, Run: warmRes}).WorstDegradation()
+		rows[i] = row
+		return nil
+	})
+	return rows, err
+}
+
+// FormatWarmStart renders the warm-start ablation as a per-mix table.
+func FormatWarmStart(rows []WarmStartRow) string {
+	s := "Warm-start ablation: cold full search vs warm-started incremental search\n"
+	s += fmt.Sprintf("%-6s %7s %5s %5s %5s %11s %10s %7s %9s %10s %10s\n",
+		"mix", "epochs", "hits", "fall", "cold",
+		"evals/cold", "evals/hit", "ratio", "dE%", "worstC", "worstW")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-6s %7d %5d %5d %5d %11.1f %10.1f %6.1fx %+8.3f%% %9.2f%% %9.2f%%\n",
+			r.Mix, r.Epochs, r.WarmHits, r.WarmFallbacks, r.ColdSearches,
+			r.ColdEvalsPerEpoch, r.WarmEvalsPerHit, r.EvalsRatio,
+			r.EnergyDeltaPct, r.WorstDegCold*100, r.WorstDegWarm*100)
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// warmTestBudget is larger than testBudget because the ablation's per-hit
+// statistics need enough decision epochs for the snapshot table to amortize:
+// at 50M instructions the compute-bound mixes see only a handful of warm
+// hits, each still paying the table's cold misses. The runs are analytic, so
+// the sweep stays well under a second.
+const warmTestBudget = 400_000_000
+
+// TestWarmStartAblationGates holds the warm-start ablation to the numbers
+// the optimization promises (DESIGN.md §14): on every mix class the warm
+// path must hit, cut per-epoch core evaluations by at least 3× on warm-hit
+// epochs, move total energy by under 0.5%, and keep the slowdown bound.
+func TestWarmStartAblationGates(t *testing.T) {
+	r := NewRunner(warmTestBudget)
+	rows, err := r.WarmStart(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.WarmHits == 0 {
+			t.Errorf("%s: warm path never hit (%d epochs, %d fallbacks)",
+				row.Mix, row.Epochs, row.WarmFallbacks)
+			continue
+		}
+		if row.EvalsRatio < 3 {
+			t.Errorf("%s: evals ratio %.1fx below the 3x gate (cold %.1f/epoch, warm %.1f/hit)",
+				row.Mix, row.EvalsRatio, row.ColdEvalsPerEpoch, row.WarmEvalsPerHit)
+		}
+		if math.Abs(row.EnergyDeltaPct) > 0.5 {
+			t.Errorf("%s: warm energy delta %+.3f%% outside +/-0.5%%",
+				row.Mix, row.EnergyDeltaPct)
+		}
+		if row.WorstDegWarm > ViolationThreshold {
+			t.Errorf("%s: warm worst degradation %.2f%% exceeds threshold %.2f%%",
+				row.Mix, row.WorstDegWarm*100, ViolationThreshold*100)
+		}
+	}
+	if t.Failed() {
+		t.Log("\n" + FormatWarmStart(rows))
+	}
+}
+
+// TestWarmStartCounterConservation checks the one-hot outcome accounting:
+// every decision epoch is exactly one warm hit or one cold search, and
+// fallbacks are a subset of the cold searches.
+func TestWarmStartCounterConservation(t *testing.T) {
+	r := NewRunner(testBudget)
+	rows, err := r.WarmStart(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.WarmHits+row.ColdSearches != row.Epochs {
+			t.Errorf("%s: hits %d + colds %d != epochs %d",
+				row.Mix, row.WarmHits, row.ColdSearches, row.Epochs)
+		}
+		if row.WarmFallbacks > row.ColdSearches {
+			t.Errorf("%s: fallbacks %d exceed cold searches %d",
+				row.Mix, row.WarmFallbacks, row.ColdSearches)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"time"
 
+	"coscale/internal/core"
 	"coscale/internal/policy"
 )
 
@@ -10,9 +11,12 @@ import (
 // search per epoch — feeds the server-wide search-duration summary exposed
 // at /metrics (count, sum, max in nanoseconds). Timing wraps only the
 // decision, not Observe's slack accounting, so the numbers line up with the
-// §3.1 search-cost benchmarks.
+// §3.1 search-cost benchmarks. Controllers that export per-decision
+// core.SearchStats (the CoScale family) additionally feed the warm-start
+// outcome counters.
 type timedPolicy struct {
 	inner policy.Policy
+	stats interface{ SearchStats() core.SearchStats }
 	m     *metrics
 }
 
@@ -20,10 +24,12 @@ type timedPolicy struct {
 // OraclePolicy identity — the engine type-asserts it to switch to oracle
 // observations, so a plain wrapper would silently change their behaviour.
 func timed(pol policy.Policy, m *metrics) policy.Policy {
+	tp := timedPolicy{inner: pol, m: m}
+	tp.stats, _ = pol.(interface{ SearchStats() core.SearchStats })
 	if op, ok := pol.(policy.OraclePolicy); ok {
-		return &timedOracle{timedPolicy{inner: pol, m: m}, op}
+		return &timedOracle{tp, op}
 	}
-	return &timedPolicy{inner: pol, m: m}
+	return &tp
 }
 
 func (t *timedPolicy) Name() string { return t.inner.Name() }
@@ -33,6 +39,12 @@ func (t *timedPolicy) Decide(obs policy.Observation) policy.Decision {
 	start := time.Now()
 	d := t.inner.Decide(obs)
 	t.m.observeSearch(time.Since(start))
+	if t.stats != nil {
+		s := t.stats.SearchStats()
+		t.m.warmHits.Add(int64(s.WarmHits))
+		t.m.warmFallbacks.Add(int64(s.WarmFallbacks))
+		t.m.coldSearches.Add(int64(s.ColdSearches))
+	}
 	return d
 }
 

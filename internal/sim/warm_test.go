@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"coscale/internal/core"
+	"coscale/internal/workload"
+)
+
+// TestWarmGoldenBitIdenticalAfterReset pins the warm-start determinism
+// contract at the engine level (DESIGN.md §14): a warm-started controller's
+// decision sequence is a pure function of trace + options, so replaying a
+// run through Engine.Reset + CoScale.Reset on the SAME controller — whose
+// snapshot table and phase signature Reset must clear — and running a
+// completely fresh engine + controller must both reproduce every result
+// bit for bit.
+func TestWarmGoldenBitIdenticalAfterReset(t *testing.T) {
+	type capture struct {
+		epochs int
+		wall   uint64
+		cpu    uint64
+		l2     uint64
+		mem    uint64
+		rest   uint64
+		total  uint64
+	}
+	snap := func(r *Result) capture {
+		return capture{
+			epochs: r.Epochs,
+			wall:   math.Float64bits(r.WallTime),
+			cpu:    math.Float64bits(r.Energy.CPU),
+			l2:     math.Float64bits(r.Energy.L2),
+			mem:    math.Float64bits(r.Energy.Mem),
+			rest:   math.Float64bits(r.Energy.Rest),
+			total:  r.TotalInstructions,
+		}
+	}
+
+	for _, mix := range []string{"MID1", "MEM1"} {
+		t.Run(mix, func(t *testing.T) {
+			cfg := Config{Mix: workload.MustGet(mix), InstrBudget: 16_000_000}
+			cs := must(core.NewWithOptions(cfg.PolicyConfig(), core.Options{WarmStart: true}))
+			cfg.Policy = cs
+
+			eng := must(New(cfg))
+			want := snap(must(eng.Run()))
+
+			// Same engine, same controller: both Reset, nothing reallocated.
+			eng.Reset()
+			cs.Reset()
+			replay := snap(must(eng.Run()))
+			if replay != want {
+				t.Errorf("replay after Reset diverged:\n got %+v\nwant %+v", replay, want)
+			}
+
+			// Fresh everything as the referee.
+			cfg.Policy = must(core.NewWithOptions(cfg.PolicyConfig(), core.Options{WarmStart: true}))
+			fresh := snap(must(must(New(cfg)).Run()))
+			if fresh != want {
+				t.Errorf("fresh engine diverged:\n got %+v\nwant %+v", fresh, want)
+			}
+		})
+	}
+}
